@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 1 — credit spending-rate distributions with/without condensation.
+
+Regenerates the paper's motivating contrast: a non-uniformly priced,
+credit-rich swarm condenses (high spending-rate Gini, depressed spending),
+a uniformly priced, modestly endowed swarm stays balanced (low Gini).
+"""
+
+from conftest import run_once
+
+
+def test_fig01_spending_rates(benchmark):
+    result = run_once(benchmark, "fig1")
+    table = result.table()
+    rows = {row["case"]: row for row in table}
+    condensed = rows["condensed (non-uniform prices)"]
+    healthy = rows["healthy (uniform prices)"]
+    # Shape check: the condensed case must show a markedly more skewed
+    # spending-rate profile than the healthy case (paper: 0.9 vs 0.1).
+    assert condensed["spending_rate_gini"] > healthy["spending_rate_gini"]
+    assert condensed["wealth_gini"] > healthy["wealth_gini"]

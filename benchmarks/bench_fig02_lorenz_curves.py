@@ -1,0 +1,27 @@
+"""Benchmark: Fig. 2 — Lorenz curves of the equilibrium wealth marginal.
+
+Regenerates the Lorenz curves / Gini indices for the paper's three (M, N)
+combinations, from both the literal Eq. (8) approximation and the exact
+closed-Jackson marginal.
+"""
+
+from conftest import run_once
+
+
+def test_fig02_lorenz_curves(benchmark):
+    result = run_once(benchmark, "fig2")
+    table = result.table()
+    rows = sorted(table.rows, key=lambda row: row["average_wealth_c"])
+    # Shape checks: the exact equilibrium marginal is substantially skewed
+    # (near the exponential value 0.5) for every combination, and always at
+    # least as skewed as the Eq. (8) binomial approximation, whose skewness
+    # collapses as the average wealth grows.
+    for row in rows:
+        assert 0.4 < row["gini_exact"] <= 0.75
+        assert row["gini_exact"] >= row["gini_eq8"]
+    eq8 = [row["gini_eq8"] for row in rows]
+    assert all(later <= earlier + 1e-9 for earlier, later in zip(eq8, eq8[1:]))
+    # Every Lorenz curve starts at (0, 0) and ends at (1, 1).
+    for series in result.series:
+        assert series.y[0] == 0.0
+        assert abs(series.y[-1] - 1.0) < 1e-6

@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 4 — content-exchange efficiency 1 - Q{B_i = 0} vs average wealth c.
+
+Regenerates the exponential saturation curve of Eq. (9) together with its
+finite-N and exact-Jackson counterparts.
+"""
+
+from conftest import run_once
+
+
+def test_fig04_efficiency(benchmark):
+    result = run_once(benchmark, "fig4")
+    table = result.table()
+    rows = sorted(table.rows, key=lambda row: row["average_wealth_c"])
+    eq9 = [row["efficiency_eq9"] for row in rows]
+    # Shape checks: efficiency increases monotonically in c and saturates toward 1.
+    assert all(later >= earlier for earlier, later in zip(eq9, eq9[1:]))
+    assert eq9[-1] > 0.99
+    # The Eq. 9 approximation tracks the exact finite-N expression closely.
+    for row in rows:
+        assert abs(row["efficiency_eq9"] - row["efficiency_finite_N"]) < 0.05

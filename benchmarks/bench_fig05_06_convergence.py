@@ -1,0 +1,19 @@
+"""Benchmark: Figs. 5-6 — convergence of the credit distribution over time.
+
+Regenerates the sorted wealth profiles of the early (still spreading) and
+late (converged) stages of a long symmetric-utilization run.
+"""
+
+from conftest import run_once
+
+
+def test_fig05_06_convergence(benchmark):
+    result = run_once(benchmark, "fig5_6")
+    table = result.table()
+    rows = {row["stage"]: row for row in table}
+    early = rows["early (Fig. 5)"]
+    late = rows["late (Fig. 6)"]
+    # Shape check: early profiles differ from one another much more than
+    # late profiles do (the distribution converges).
+    assert early["mean_profile_distance"] > late["mean_profile_distance"]
+    assert late["num_profiles"] >= 2

@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 9 — the effect of taxation on credit-distribution skewness.
+
+Regenerates the no-tax baseline against the four (rate, threshold)
+combinations the paper studies.
+"""
+
+from conftest import run_once
+
+
+def test_fig09_taxation(benchmark):
+    result = run_once(benchmark, "fig9")
+    table = result.table()
+    rows = {row["taxation"]: row for row in table}
+    baseline = rows["no taxation"]["stabilized_gini"]
+    taxed = {label: row["stabilized_gini"] for label, row in rows.items() if label != "no taxation"}
+    # Observation 1: taxation inhibits the skewness relative to no taxation.
+    assert all(gini < baseline for gini in taxed.values())
+    # Observation 2: at a given rate, a higher threshold is at least as effective.
+    if "rate=0.1 thres.=50" in taxed and "rate=0.1 thres.=80" in taxed:
+        assert taxed["rate=0.1 thres.=80"] <= taxed["rate=0.1 thres.=50"] + 0.05
+    if "rate=0.2 thres.=50" in taxed and "rate=0.2 thres.=80" in taxed:
+        assert taxed["rate=0.2 thres.=80"] <= taxed["rate=0.2 thres.=50"] + 0.05

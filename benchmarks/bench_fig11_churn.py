@@ -1,0 +1,31 @@
+"""Benchmark: Fig. 11 — impact of peer dynamics (churn) on credit skewness.
+
+Regenerates the three churn sweeps: fixed overlay size, fixed mean
+lifespan and fixed arrival rate.
+"""
+
+from conftest import run_once
+
+
+def test_fig11_churn(benchmark):
+    result = run_once(benchmark, "fig11")
+
+    # Sub-figure (1): dynamic overlays are less skewed than the static one.
+    table1 = result.table("Fig. 11(1)")
+    rows1 = {row["setting"]: row for row in table1}
+    static_gini = rows1["static topology"]["stabilized_gini"]
+    dynamic_ginis = [
+        row["stabilized_gini"] for label, row in rows1.items() if label != "static topology"
+    ]
+    assert all(gini < static_gini for gini in dynamic_ginis)
+
+    # Sub-figure (2): the arrival rate has only a modest effect on the skew.
+    table2 = result.table("Fig. 11(2)")
+    ginis2 = [row["stabilized_gini"] for row in table2]
+    assert max(ginis2) - min(ginis2) < 0.2
+
+    # Sub-figure (3): longer lifespans allow more condensation.
+    table3 = result.table("Fig. 11(3)")
+    rows3 = sorted(table3.rows, key=lambda row: row["mean_lifespan"])
+    ginis3 = [row["stabilized_gini"] for row in rows3]
+    assert ginis3[-1] >= ginis3[0]

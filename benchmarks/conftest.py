@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+``default`` reproduction scale and prints the resulting rows, so running
+
+    pytest benchmarks/ --benchmark-only
+
+produces both timing data and the reproduced numbers.  Each experiment is
+executed exactly once per benchmark (``pedantic`` mode) because individual
+runs take seconds to minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.common import ExperimentResult, Scale
+
+BENCH_SCALE = Scale.DEFAULT
+BENCH_SEED = 7
+
+
+def run_once(benchmark, experiment_id: str, scale: str = BENCH_SCALE) -> ExperimentResult:
+    """Run ``experiment_id`` exactly once under the benchmark timer and print it."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": scale, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+    return result
+
+
+@pytest.fixture
+def bench_seed() -> int:
+    """Seed used by every benchmark run."""
+    return BENCH_SEED

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Chunk-level streaming swarm: reproduce the paper's motivating contrast (Fig. 1).
+
+Two credit-incentivized live-streaming swarms run the same UUSee-like
+mesh-pull protocol on the same scale-free overlay; the only differences are
+the initial wealth and the pricing scheme:
+
+* case A — generous initial credits and heterogeneous per-seller prices
+  (Poisson-distributed, mean ~1.5 credits): wealth condenses onto the peers
+  with the most lucrative prices, most peers end up too poor to buy, and the
+  distribution of credit *spending rates* (= download rates) becomes very
+  skewed;
+* case B — modest initial credits (c = 12) and uniform pricing at 1 credit
+  per chunk: income tracks expenditure for everyone and spending rates stay
+  balanced.
+
+This is a scaled-down version of the paper's 500-peer, 20000-second
+experiment (the shape of the contrast is preserved; see EXPERIMENTS.md).
+
+Run it with:  python examples/streaming_condensation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import gini_index, wealth_summary
+from repro.core.pricing import PerPeerFlatPricing, UniformPricing
+from repro.p2psim import StreamingMarketSimulator, StreamingSimConfig
+from repro.utils.rng import make_rng
+
+SEED = 11
+NUM_PEERS = 80
+HORIZON = 900.0
+
+
+def poisson_seller_prices(num_peers: int, seed: int) -> PerPeerFlatPricing:
+    """Per-seller flat prices drawn from 1 + Poisson(0.5) (mean 1.5 credits)."""
+    rng = make_rng(seed, "prices")
+    return PerPeerFlatPricing({peer: 1.0 + float(rng.poisson(0.5)) for peer in range(num_peers)})
+
+
+def run_case(label: str, initial_credits: float, pricing) -> None:
+    config = StreamingSimConfig(
+        num_peers=NUM_PEERS,
+        initial_credits=initial_credits,
+        horizon=HORIZON,
+        pricing=pricing,
+        upload_capacity=1,
+        sample_interval=60.0,
+        seed=SEED,
+    )
+    result = StreamingMarketSimulator.run_config(config)
+    summary = wealth_summary(result.final_wealths)
+    print(f"\n=== {label} ===")
+    print(f"  initial credits per peer: {initial_credits:g}")
+    print(f"  chunks delivered:         {result.chunks_delivered}")
+    print(f"  mean playback continuity: {float(np.mean(result.continuity)):.3f}")
+    print(f"  spending-rate Gini:       {gini_index(result.spending_rates):.3f}")
+    print(f"  wealth Gini:              {summary['gini']:.3f}")
+    print(f"  bankrupt fraction:        {summary['bankrupt_fraction']:.3f}")
+    print(f"  top-10% wealth share:     {summary['top_10pct_share']:.3f}")
+    sorted_rates = np.sort(result.spending_rates)
+    deciles = np.percentile(sorted_rates, [10, 50, 90])
+    print(f"  spending-rate deciles (10/50/90%): "
+          f"{deciles[0]:.3f} / {deciles[1]:.3f} / {deciles[2]:.3f} credits/s")
+
+
+def main() -> None:
+    print("Credit-incentivized P2P live streaming: condensation vs healthy circulation")
+    run_case(
+        "case A — condensation (c=60, heterogeneous Poisson prices)",
+        initial_credits=60.0,
+        pricing=poisson_seller_prices(NUM_PEERS, SEED),
+    )
+    run_case(
+        "case B — healthy market (c=12, uniform 1-credit pricing)",
+        initial_credits=12.0,
+        pricing=UniformPricing(1.0),
+    )
+    print("\nIn the paper's full-scale run (500 peers, 20000 s) the two cases "
+          "yield spending-rate Gini indices of roughly 0.9 and 0.1.")
+
+
+if __name__ == "__main__":
+    main()

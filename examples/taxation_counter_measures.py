@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Counter-measures against credit condensation: taxation and dynamic spending.
+
+The paper's Sec. VI-C/D studies two ways to keep a credit-based P2P market
+sustainable once condensation pressure exists (asymmetric utilization):
+
+* an income tax above a wealth threshold, redistributed one credit per peer
+  whenever the system has collected N credits (Fig. 9);
+* letting rich peers spend faster than their base rate — the dynamic
+  spending-rate rule ``μ_i = μ_i^s · B_i / m`` above the threshold ``m``
+  (Fig. 10).
+
+This example runs a condensation-prone market under several policies and
+prints the stabilized Gini index and bankruptcy fraction for each, showing
+how much each counter-measure helps.
+
+Run it with:  python examples/taxation_counter_measures.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.spending import DynamicSpendingPolicy, FixedSpendingPolicy
+from repro.core.taxation import NoTax, ProportionalRedistributionTax, ThresholdIncomeTax
+from repro.overlay import scale_free_topology
+from repro.p2psim import CreditMarketSimulator, MarketSimConfig, UtilizationMode
+
+SEED = 21
+NUM_PEERS = 150
+AVERAGE_WEALTH = 100.0
+HORIZON = 4000.0
+
+
+def run_policy(label, topology, tax_policy=None, spending_policy=None):
+    config = MarketSimConfig(
+        num_peers=NUM_PEERS,
+        initial_credits=AVERAGE_WEALTH,
+        horizon=HORIZON,
+        step=2.0,
+        utilization=UtilizationMode.ASYMMETRIC,
+        tax_policy=tax_policy or NoTax(),
+        spending_policy=spending_policy or FixedSpendingPolicy(),
+        sample_interval=100.0,
+        seed=SEED,
+    )
+    result = CreditMarketSimulator.run_config(config, topology=topology.copy())
+    bankrupt = float(np.mean(result.final_wealths < 1.0))
+    print(f"{label:<42s}  gini={result.stabilized_gini:6.3f}  "
+          f"bankrupt={bankrupt:6.3f}  transfers={result.total_transfers}")
+    return result
+
+
+def main() -> None:
+    topology = scale_free_topology(NUM_PEERS, seed=SEED)
+    print(f"Asymmetric credit market, N={NUM_PEERS}, c={AVERAGE_WEALTH:.0f}, "
+          f"{HORIZON:.0f} simulated seconds\n")
+    print(f"{'policy':<42s}  {'gini':>10s}  {'bankrupt':>13s}")
+
+    run_policy("no counter-measure", topology)
+    run_policy("tax 10% above wealth 50", topology,
+               tax_policy=ThresholdIncomeTax(rate=0.1, threshold=50.0))
+    run_policy("tax 20% above wealth 50", topology,
+               tax_policy=ThresholdIncomeTax(rate=0.2, threshold=50.0))
+    run_policy("tax 20% above wealth 80", topology,
+               tax_policy=ThresholdIncomeTax(rate=0.2, threshold=80.0))
+    run_policy("proportional redistribution tax (20%/80)", topology,
+               tax_policy=ProportionalRedistributionTax(rate=0.2, threshold=80.0))
+    run_policy("dynamic spending (m = c)", topology,
+               spending_policy=DynamicSpendingPolicy(wealth_threshold=AVERAGE_WEALTH))
+    run_policy("dynamic spending + tax 20%/80", topology,
+               tax_policy=ThresholdIncomeTax(rate=0.2, threshold=80.0),
+               spending_policy=DynamicSpendingPolicy(wealth_threshold=AVERAGE_WEALTH))
+
+    print("\nThe paper's observations (Sec. VI-C/D): taxation inhibits skewness, a "
+          "threshold near the average wealth works best, and dynamic spending "
+          "rates mitigate condensation on their own.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed editable in fully offline environments that
+lack the ``wheel`` package (``pip install -e . --no-build-isolation``
+falls back to the legacy code path through this file).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""repro — reproduction of "Exploring the Sustainability of Credit-incentivized
+Peer-to-Peer Content Distribution" (Qiu, Huang, Wu, Li, Lau — ICDCSW 2012).
+
+The package models credit-based P2P content distribution markets, maps them
+onto Jackson queueing networks (Table I of the paper), analyses wealth
+condensation (Lemma 1, Theorems 2–3, Eqs. 3–9) and reproduces the paper's
+simulation study with a discrete-event mesh-pull streaming simulator and a
+transaction-level market simulator.
+
+Quickstart
+----------
+>>> from repro import CreditMarket, scale_free_topology
+>>> topology = scale_free_topology(100, seed=1)
+>>> market = CreditMarket(topology, initial_credits=50.0)
+>>> equilibrium = market.equilibrium()
+>>> bool(equilibrium.condensation.condenses) in (True, False)
+True
+
+Subpackages
+-----------
+``repro.core``
+    Credit market, wallets/ledger, pricing, taxation, spending policies,
+    condensation analysis and inequality metrics.
+``repro.queueing``
+    Jackson queueing-network analytics (traffic equations, closed/open
+    networks, Buzen convolution, MVA, the paper's approximations).
+``repro.simulation`` / ``repro.overlay`` / ``repro.streaming``
+    Discrete-event engine, overlay topologies with churn, and the mesh-pull
+    streaming protocol substrate.
+``repro.p2psim``
+    The integrated credit-incentivized P2P simulators (chunk-level and
+    transaction-level).
+``repro.baselines``
+    Scrip-system, credit-network, tit-for-tat and money-exchange baselines.
+``repro.experiments``
+    One registered runner per figure of the paper's evaluation.
+"""
+
+from repro.core import (
+    CreditLedger,
+    CreditMarket,
+    DynamicSpendingPolicy,
+    FixedSpendingPolicy,
+    LinearPricing,
+    MarketEquilibrium,
+    NoTax,
+    PerPeerFlatPricing,
+    PoissonPricing,
+    PricingScheme,
+    ThresholdIncomeTax,
+    UniformPricing,
+    Wallet,
+    condensation_threshold,
+    diagnose_condensation,
+    exchange_efficiency,
+    gini_from_pmf,
+    gini_index,
+    lorenz_curve,
+    lorenz_curve_from_pmf,
+    wealth_summary,
+)
+from repro.overlay import (
+    ChurnConfig,
+    MembershipTracker,
+    OverlayTopology,
+    scale_free_topology,
+)
+from repro.queueing import (
+    ClosedJacksonNetwork,
+    OpenJacksonNetwork,
+    RoutingMatrix,
+    solve_traffic_equations,
+    symmetric_marginal_pmf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "CreditMarket",
+    "MarketEquilibrium",
+    "CreditLedger",
+    "Wallet",
+    "PricingScheme",
+    "UniformPricing",
+    "PerPeerFlatPricing",
+    "LinearPricing",
+    "PoissonPricing",
+    "ThresholdIncomeTax",
+    "NoTax",
+    "FixedSpendingPolicy",
+    "DynamicSpendingPolicy",
+    "condensation_threshold",
+    "diagnose_condensation",
+    "exchange_efficiency",
+    "gini_index",
+    "gini_from_pmf",
+    "lorenz_curve",
+    "lorenz_curve_from_pmf",
+    "wealth_summary",
+    # overlay
+    "OverlayTopology",
+    "scale_free_topology",
+    "MembershipTracker",
+    "ChurnConfig",
+    # queueing
+    "RoutingMatrix",
+    "ClosedJacksonNetwork",
+    "OpenJacksonNetwork",
+    "solve_traffic_equations",
+    "symmetric_marginal_pmf",
+]

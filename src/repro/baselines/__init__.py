@@ -1,0 +1,38 @@
+"""Baseline and comparison models from the paper's related-work section.
+
+These models position the credit-market analysis against the alternatives
+the paper discusses (Sec. II):
+
+* :class:`~repro.baselines.scrip_system.ScripSystem` — a Friedman/Halpern/
+  Kash-style scrip system where peers alternate between wanting service and
+  providing it; used to study performance as a function of the total amount
+  of internal currency.
+* :class:`~repro.baselines.credit_network.CreditNetwork` — a Dandekar et
+  al.-style pairwise credit-line network, measuring liquidity (transaction
+  success) and bankruptcy probability versus credit capacity and density.
+* :class:`~repro.baselines.titfortat.TitForTatSwarm` — a BitTorrent-like
+  barter baseline (no currency at all) for download-rate comparisons.
+* :func:`~repro.baselines.money_exchange.simulate_money_exchange` —
+  Drăgulescu–Yakovenko random-exchange economies, the classic econophysics
+  models of money distribution the paper cites as inspiration for wealth
+  condensation.
+"""
+
+from repro.baselines.scrip_system import ScripSystem, ScripSystemResult
+from repro.baselines.credit_network import CreditNetwork, CreditNetworkResult
+from repro.baselines.titfortat import TitForTatSwarm, TitForTatResult
+from repro.baselines.money_exchange import (
+    MoneyExchangeResult,
+    simulate_money_exchange,
+)
+
+__all__ = [
+    "ScripSystem",
+    "ScripSystemResult",
+    "CreditNetwork",
+    "CreditNetworkResult",
+    "TitForTatSwarm",
+    "TitForTatResult",
+    "MoneyExchangeResult",
+    "simulate_money_exchange",
+]

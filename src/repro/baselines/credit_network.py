@@ -1,0 +1,192 @@
+"""A Dandekar et al.-style pairwise credit network baseline.
+
+Reference [22] of the paper models trust as pairwise credit lines: an edge
+``(u, v)`` with capacity ``C`` means ``u`` is willing to be owed up to ``C``
+units by ``v`` (and vice versa, tracked separately).  A payment from buyer
+to seller succeeds if there is enough residual credit along some path
+between them; repeated transactions shift credit around and the questions
+are *liquidity* (what fraction of payments succeed in steady state) and
+*bankruptcy* (how often a node ends up unable to pay anyone).
+
+Dandekar et al. show, via simulation on complete graphs and other dense
+topologies, that liquidity improves with credit capacity and network
+density — the baseline the paper contrasts with its analytical treatment.
+This implementation supports arbitrary overlay topologies, single-hop or
+shortest-path multi-hop payment routing, and reports success rate and
+bankruptcy probability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.metrics import gini_index
+from repro.overlay.topology import OverlayTopology
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["CreditNetworkResult", "CreditNetwork"]
+
+
+@dataclass(frozen=True)
+class CreditNetworkResult:
+    """Outcome of a credit-network simulation.
+
+    Attributes
+    ----------
+    success_rate:
+        Fraction of attempted payments that found sufficient credit.
+    bankruptcy_probability:
+        Fraction of (agent, time) samples at which the agent could not pay
+        one unit to any neighbour — Dandekar et al.'s robustness metric.
+    final_gini:
+        Gini index of each node's total outgoing purchasing power at the end.
+    purchasing_power:
+        Final residual outgoing credit per node.
+    """
+
+    success_rate: float
+    bankruptcy_probability: float
+    final_gini: float
+    purchasing_power: np.ndarray
+
+
+class CreditNetwork:
+    """Pairwise credit-line network with unit payments.
+
+    Parameters
+    ----------
+    topology:
+        The trust graph; every edge carries ``credit_capacity`` in each
+        direction initially.
+    credit_capacity:
+        Initial credit line per direction per edge.
+    multi_hop:
+        When True payments may be routed along shortest residual paths
+        (breadth-first search); when False only direct neighbours can be
+        paid.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        topology: OverlayTopology,
+        credit_capacity: float = 2.0,
+        multi_hop: bool = True,
+        seed: Optional[int] = None,
+    ) -> None:
+        if topology.num_peers < 2:
+            raise ValueError("the credit network needs at least 2 nodes")
+        check_positive(credit_capacity, "credit_capacity")
+        self.topology = topology
+        self.credit_capacity = float(credit_capacity)
+        self.multi_hop = bool(multi_hop)
+        self._rng = make_rng(seed, "credit-network")
+        # residual[u][v] = how much more v may pay u along edge (u, v).
+        self._residual: Dict[int, Dict[int, float]] = {
+            node: {neighbor: self.credit_capacity for neighbor in topology.neighbors(node)}
+            for node in topology.peers()
+        }
+
+    # ------------------------------------------------------------------ payments
+
+    def residual(self, creditor: int, debtor: int) -> float:
+        """Remaining credit ``debtor`` may draw against ``creditor``."""
+        return self._residual[creditor].get(debtor, 0.0)
+
+    def _find_path(self, payer: int, payee: int) -> Optional[List[int]]:
+        """Shortest path from payer to payee along edges with residual credit."""
+        if payer == payee:
+            return [payer]
+        parents: Dict[int, int] = {payer: payer}
+        frontier = deque([payer])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in self.topology.neighbors(node):
+                # The payer pushes one unit toward the payee: the hop node ->
+                # neighbor consumes credit that `neighbor` extends to `node`.
+                if neighbor in parents:
+                    continue
+                if self._residual.get(neighbor, {}).get(node, 0.0) < 1.0:
+                    continue
+                parents[neighbor] = node
+                if neighbor == payee:
+                    path = [payee]
+                    while path[-1] != payer:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                frontier.append(neighbor)
+        return None
+
+    def pay(self, payer: int, payee: int, amount: float = 1.0) -> bool:
+        """Attempt a payment of ``amount`` (integral units of 1) from payer to payee."""
+        if amount != 1.0:
+            raise ValueError("this baseline settles unit payments only")
+        if self.multi_hop:
+            path = self._find_path(payer, payee)
+            if path is None:
+                return False
+            for upstream, downstream in zip(path, path[1:]):
+                self._residual[downstream][upstream] -= 1.0
+                self._residual.setdefault(upstream, {}).setdefault(downstream, 0.0)
+                self._residual[upstream][downstream] += 1.0
+            return True
+        if self._residual.get(payee, {}).get(payer, 0.0) < 1.0:
+            return False
+        self._residual[payee][payer] -= 1.0
+        self._residual[payer][payee] = self._residual[payer].get(payee, 0.0) + 1.0
+        return True
+
+    # ------------------------------------------------------------------ metrics
+
+    def purchasing_power(self, node: int) -> float:
+        """Total credit ``node`` can currently draw from its neighbours."""
+        return float(
+            sum(
+                self._residual[neighbor].get(node, 0.0)
+                for neighbor in self.topology.neighbors(node)
+            )
+        )
+
+    def is_bankrupt(self, node: int) -> bool:
+        """Whether ``node`` cannot pay even one unit to any neighbour."""
+        return self.purchasing_power(node) < 1.0
+
+    # ------------------------------------------------------------------ simulation
+
+    def run(self, num_payments: int = 20_000, sample_every: int = 100) -> CreditNetworkResult:
+        """Simulate random unit payments between random node pairs.
+
+        Parameters
+        ----------
+        num_payments:
+            Number of payment attempts.
+        sample_every:
+            Interval (in payments) at which bankruptcy is sampled across nodes.
+        """
+        if num_payments < 1:
+            raise ValueError("num_payments must be at least 1")
+        rng = self._rng
+        nodes = self.topology.peers()
+        successes = 0
+        bankrupt_samples: List[float] = []
+        for attempt in range(int(num_payments)):
+            payer, payee = rng.choice(nodes, size=2, replace=False)
+            if self.pay(int(payer), int(payee)):
+                successes += 1
+            if sample_every and attempt % sample_every == 0:
+                bankrupt_samples.append(
+                    float(np.mean([self.is_bankrupt(node) for node in nodes]))
+                )
+        power = np.array([self.purchasing_power(node) for node in nodes])
+        return CreditNetworkResult(
+            success_rate=successes / float(num_payments),
+            bankruptcy_probability=float(np.mean(bankrupt_samples)) if bankrupt_samples else 0.0,
+            final_gini=gini_index(power),
+            purchasing_power=power,
+        )

@@ -1,0 +1,134 @@
+"""Econophysics money-exchange models (Drăgulescu–Yakovenko and variants).
+
+The paper traces the idea of wealth condensation to the economics and
+econophysics literature ([13], [17], [27]).  The canonical toy models are
+random pairwise money exchanges in a closed economy:
+
+* ``"uniform"`` — the two traders pool their money and split it uniformly
+  at random (yields an exponential/Boltzmann–Gibbs wealth distribution,
+  Gini → 0.5);
+* ``"fixed"`` — a fixed amount moves from one random trader to the other
+  (also exponential in equilibrium, with a reflecting floor at zero);
+* ``"proportional"`` — the loser gives a fixed *fraction* of its wealth
+  (yields a heavier-tailed, more condensed distribution);
+* ``"savings"`` — each trader keeps a savings fraction and the remainder is
+  pooled and split (Chakraborti–Chakrabarti; higher savings → more equal).
+
+These provide reference Gini values against which the Jackson-network
+wealth distributions of the paper can be compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.metrics import gini_index, wealth_summary
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["MoneyExchangeResult", "simulate_money_exchange"]
+
+_VALID_RULES = ("uniform", "fixed", "proportional", "savings")
+
+
+@dataclass(frozen=True)
+class MoneyExchangeResult:
+    """Outcome of a money-exchange simulation.
+
+    Attributes
+    ----------
+    rule:
+        The exchange rule simulated.
+    final_wealths:
+        Final wealth of every agent.
+    final_gini:
+        Gini index of the final wealth distribution.
+    summary:
+        Full wealth summary (mean, median, top shares, ...).
+    """
+
+    rule: str
+    final_wealths: np.ndarray
+    final_gini: float
+    summary: dict
+
+
+def simulate_money_exchange(
+    num_agents: int = 500,
+    average_wealth: float = 100.0,
+    num_exchanges: int = 200_000,
+    rule: str = "uniform",
+    exchange_amount: float = 1.0,
+    exchange_fraction: float = 0.1,
+    savings_fraction: float = 0.5,
+    seed: Optional[int] = None,
+) -> MoneyExchangeResult:
+    """Simulate a closed random-exchange economy and return the final distribution.
+
+    Parameters
+    ----------
+    num_agents:
+        Population size.
+    average_wealth:
+        Initial wealth per agent (the economy's total is conserved).
+    num_exchanges:
+        Number of pairwise exchange events.
+    rule:
+        One of ``"uniform"``, ``"fixed"``, ``"proportional"``, ``"savings"``.
+    exchange_amount:
+        Amount moved per event under the ``"fixed"`` rule.
+    exchange_fraction:
+        Fraction of the loser's wealth moved under ``"proportional"``.
+    savings_fraction:
+        Fraction each trader keeps under ``"savings"``.
+    seed:
+        RNG seed.
+    """
+    if num_agents < 2:
+        raise ValueError("num_agents must be at least 2")
+    check_positive(average_wealth, "average_wealth")
+    if num_exchanges < 1:
+        raise ValueError("num_exchanges must be at least 1")
+    if rule not in _VALID_RULES:
+        raise ValueError(f"rule must be one of {_VALID_RULES}, got {rule!r}")
+    check_positive(exchange_amount, "exchange_amount")
+    check_fraction(exchange_fraction, "exchange_fraction")
+    check_fraction(savings_fraction, "savings_fraction")
+
+    rng = make_rng(seed, "money-exchange", rule)
+    wealth = np.full(int(num_agents), float(average_wealth))
+
+    for _ in range(int(num_exchanges)):
+        i, j = rng.choice(num_agents, size=2, replace=False)
+        if rule == "uniform":
+            pool = wealth[i] + wealth[j]
+            share = rng.random()
+            wealth[i] = pool * share
+            wealth[j] = pool * (1.0 - share)
+        elif rule == "fixed":
+            loser, winner = (i, j) if rng.random() < 0.5 else (j, i)
+            amount = min(exchange_amount, wealth[loser])
+            wealth[loser] -= amount
+            wealth[winner] += amount
+        elif rule == "proportional":
+            loser, winner = (i, j) if rng.random() < 0.5 else (j, i)
+            amount = exchange_fraction * wealth[loser]
+            wealth[loser] -= amount
+            wealth[winner] += amount
+        else:  # savings
+            pool = (1.0 - savings_fraction) * (wealth[i] + wealth[j])
+            share = rng.random()
+            kept_i = savings_fraction * wealth[i]
+            kept_j = savings_fraction * wealth[j]
+            wealth[i] = kept_i + pool * share
+            wealth[j] = kept_j + pool * (1.0 - share)
+
+    return MoneyExchangeResult(
+        rule=rule,
+        final_wealths=wealth,
+        final_gini=gini_index(wealth),
+        summary=wealth_summary(wealth),
+    )

@@ -1,0 +1,148 @@
+"""A Friedman–Halpern–Kash style scrip system baseline.
+
+The scrip-system model (Friedman et al., ACM EC'06 — reference [8] of the
+paper) studies a population in which, at random times, one agent wants a
+service that some other agent can provide; the requester pays one unit of
+scrip if it has any, otherwise the request fails.  The headline result the
+paper cites is that *too much* total scrip makes the system collapse (once
+everybody is satiated with scrip nobody volunteers to work), while too
+little scrip starves requesters — the same "average wealth matters" message
+as the paper's Theorems 2–3, in a stylised setting.
+
+The implementation here is an agent-based Monte-Carlo of that model with a
+simple satiation rule: an agent asked to provide service accepts with
+probability 1 while its scrip holding is below its satiation point and
+refuses once it holds at least that much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.metrics import gini_index
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["ScripSystemResult", "ScripSystem"]
+
+
+@dataclass(frozen=True)
+class ScripSystemResult:
+    """Outcome of a scrip-system simulation.
+
+    Attributes
+    ----------
+    success_rate:
+        Fraction of service requests that were actually served (the paper's
+        notion of system efficiency).
+    failure_no_money:
+        Fraction of requests that failed because the requester had no scrip.
+    failure_no_provider:
+        Fraction of requests that failed because every capable provider was
+        satiated and refused to work.
+    final_gini:
+        Gini index of the final scrip distribution.
+    final_holdings:
+        Final scrip holdings per agent.
+    """
+
+    success_rate: float
+    failure_no_money: float
+    failure_no_provider: float
+    final_gini: float
+    final_holdings: np.ndarray
+
+
+class ScripSystem:
+    """Agent-based scrip-system simulator.
+
+    Parameters
+    ----------
+    num_agents:
+        Population size.
+    average_scrip:
+        Initial (and total/agent) amount of scrip per agent — the knob whose
+        sweet spot the Friedman et al. analysis identifies.
+    satiation_point:
+        Scrip holding at which an agent stops volunteering to provide
+        service.
+    provider_fraction:
+        Probability that a random agent is able to serve a given request
+        (models the fraction of peers holding the requested object).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        num_agents: int = 100,
+        average_scrip: float = 5.0,
+        satiation_point: float = 10.0,
+        provider_fraction: float = 0.25,
+        seed: Optional[int] = None,
+    ) -> None:
+        if num_agents < 2:
+            raise ValueError("num_agents must be at least 2")
+        check_positive(average_scrip, "average_scrip")
+        check_positive(satiation_point, "satiation_point")
+        if not 0.0 < provider_fraction <= 1.0:
+            raise ValueError("provider_fraction must be in (0, 1]")
+        self.num_agents = int(num_agents)
+        self.average_scrip = float(average_scrip)
+        self.satiation_point = float(satiation_point)
+        self.provider_fraction = float(provider_fraction)
+        self._rng = make_rng(seed, "scrip-system")
+
+    def run(self, num_requests: int = 50_000) -> ScripSystemResult:
+        """Simulate ``num_requests`` service requests and return aggregate statistics."""
+        if num_requests < 1:
+            raise ValueError("num_requests must be at least 1")
+        rng = self._rng
+        holdings = np.full(self.num_agents, self.average_scrip)
+        served = 0
+        failed_no_money = 0
+        failed_no_provider = 0
+        for _ in range(int(num_requests)):
+            requester = int(rng.integers(self.num_agents))
+            if holdings[requester] < 1.0:
+                failed_no_money += 1
+                continue
+            # Draw the set of agents able to provide this particular service.
+            capable = rng.random(self.num_agents) < self.provider_fraction
+            capable[requester] = False
+            willing = capable & (holdings < self.satiation_point)
+            candidates = np.flatnonzero(willing)
+            if candidates.size == 0:
+                failed_no_provider += 1
+                continue
+            provider = int(rng.choice(candidates))
+            holdings[requester] -= 1.0
+            holdings[provider] += 1.0
+            served += 1
+        total = float(num_requests)
+        return ScripSystemResult(
+            success_rate=served / total,
+            failure_no_money=failed_no_money / total,
+            failure_no_provider=failed_no_provider / total,
+            final_gini=gini_index(holdings),
+            final_holdings=holdings,
+        )
+
+    def sweep_average_scrip(
+        self, scrip_levels, num_requests: int = 20_000
+    ) -> "list[ScripSystemResult]":
+        """Run the model at several total-scrip levels (the Friedman et al. sweep)."""
+        results = []
+        for level in scrip_levels:
+            system = ScripSystem(
+                num_agents=self.num_agents,
+                average_scrip=float(level),
+                satiation_point=self.satiation_point,
+                provider_fraction=self.provider_fraction,
+                seed=int(self._rng.integers(2**31 - 1)),
+            )
+            results.append(system.run(num_requests=num_requests))
+        return results

@@ -1,0 +1,195 @@
+"""A BitTorrent-like tit-for-tat barter baseline (no currency).
+
+The paper motivates credit incentives by noting that barter (tit-for-tat)
+works for file sharing but serves streaming poorly (Sec. I).  This baseline
+implements a round-based tit-for-tat swarm: every round each peer unchokes
+the neighbours that uploaded the most to it in the previous round (plus one
+optimistic unchoke) and uploads up to its capacity to unchoked neighbours
+that still need chunks.  It reports per-peer download rates and their
+dispersion, so it can be compared with the credit market on the same
+overlay and demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.core.metrics import gini_index
+from repro.overlay.topology import OverlayTopology
+from repro.utils.rng import make_rng
+
+__all__ = ["TitForTatResult", "TitForTatSwarm"]
+
+
+@dataclass(frozen=True)
+class TitForTatResult:
+    """Outcome of a tit-for-tat swarm simulation.
+
+    Attributes
+    ----------
+    download_rates:
+        Average chunks received per round, per peer.
+    completion_fraction:
+        Fraction of the content each peer ended up holding.
+    download_gini:
+        Gini index of the download rates (dispersion of service quality).
+    free_rider_rate:
+        Mean download rate of the peers configured as free riders (0 upload
+        capacity); tit-for-tat should starve them.
+    """
+
+    download_rates: np.ndarray
+    completion_fraction: np.ndarray
+    download_gini: float
+    free_rider_rate: float
+
+
+class TitForTatSwarm:
+    """Round-based tit-for-tat content swarm.
+
+    Parameters
+    ----------
+    topology:
+        The overlay; exchanges happen only between neighbours.
+    num_chunks:
+        Size of the shared content in chunks.
+    upload_capacity:
+        Chunks a cooperating peer can upload per round.
+    unchoke_slots:
+        Number of reciprocal unchoke slots per peer per round.
+    free_rider_fraction:
+        Fraction of peers that never upload (capacity 0).
+    initial_seed_fraction:
+        Fraction of peers that start with the full content.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        topology: OverlayTopology,
+        num_chunks: int = 200,
+        upload_capacity: int = 4,
+        unchoke_slots: int = 3,
+        free_rider_fraction: float = 0.0,
+        initial_seed_fraction: float = 0.05,
+        seed: Optional[int] = None,
+    ) -> None:
+        if topology.num_peers < 2:
+            raise ValueError("the swarm needs at least 2 peers")
+        if num_chunks < 1:
+            raise ValueError("num_chunks must be at least 1")
+        if upload_capacity < 1:
+            raise ValueError("upload_capacity must be at least 1")
+        if unchoke_slots < 1:
+            raise ValueError("unchoke_slots must be at least 1")
+        if not 0.0 <= free_rider_fraction < 1.0:
+            raise ValueError("free_rider_fraction must be in [0, 1)")
+        if not 0.0 < initial_seed_fraction <= 1.0:
+            raise ValueError("initial_seed_fraction must be in (0, 1]")
+        self.topology = topology
+        self.num_chunks = int(num_chunks)
+        self.upload_capacity = int(upload_capacity)
+        self.unchoke_slots = int(unchoke_slots)
+        self._rng = make_rng(seed, "titfortat")
+
+        peers = topology.peers()
+        self.holdings: Dict[int, Set[int]] = {peer: set() for peer in peers}
+        num_seeds = max(1, int(round(len(peers) * initial_seed_fraction)))
+        seed_peers = self._rng.choice(peers, size=num_seeds, replace=False)
+        for peer in seed_peers:
+            self.holdings[int(peer)] = set(range(self.num_chunks))
+        num_free_riders = int(round(len(peers) * free_rider_fraction))
+        eligible = [peer for peer in peers if peer not in {int(p) for p in seed_peers}]
+        chosen = (
+            self._rng.choice(eligible, size=min(num_free_riders, len(eligible)), replace=False)
+            if num_free_riders and eligible
+            else []
+        )
+        self.free_riders: Set[int] = {int(peer) for peer in chosen}
+        # Cumulative chunks received from each neighbour; reciprocity ranks on
+        # this history, so one-off optimistic unchokes do not buy lasting slots.
+        self._received_total: Dict[int, Dict[int, int]] = {peer: {} for peer in peers}
+        self._downloaded: Dict[int, int] = {peer: 0 for peer in peers}
+
+    # ------------------------------------------------------------------ one round
+
+    def _select_unchoked(self, peer: int) -> Set[int]:
+        """Reciprocity-ranked unchoke set plus one random optimistic unchoke.
+
+        Only neighbours that actually uploaded something in the previous
+        round compete for the reciprocal slots; everyone else (including
+        free riders) can only be reached through the single optimistic
+        unchoke, which is what starves non-contributors in BitTorrent.
+        """
+        neighbors = list(self.topology.neighbors(peer))
+        if not neighbors:
+            return set()
+        if len(self.holdings[peer]) >= self.num_chunks:
+            # Seeds have nothing to reciprocate for; like BitTorrent seeds they
+            # simply rotate their slots over random neighbours.
+            count = min(self.unchoke_slots + 1, len(neighbors))
+            chosen = self._rng.choice(neighbors, size=count, replace=False)
+            return {int(neighbor) for neighbor in chosen}
+        received = self._received_total[peer]
+        contributors = [n for n in neighbors if received.get(n, 0) > 0]
+        ranked = sorted(contributors, key=lambda n: received[n], reverse=True)
+        unchoked = set(ranked[: self.unchoke_slots])
+        others = [n for n in neighbors if n not in unchoked]
+        if others:
+            unchoked.add(int(self._rng.choice(others)))
+        return unchoked
+
+    def step(self) -> int:
+        """Run one round of unchoking and uploads; returns chunks transferred."""
+        peers = self.topology.peers()
+        unchoked_map = {peer: self._select_unchoked(peer) for peer in peers}
+        transferred = 0
+        order = list(peers)
+        self._rng.shuffle(order)
+        for uploader in order:
+            if uploader in self.free_riders:
+                continue
+            budget = self.upload_capacity
+            targets = [peer for peer in unchoked_map[uploader] if peer in self.holdings]
+            self._rng.shuffle(targets)
+            for target in targets:
+                if budget <= 0:
+                    break
+                missing = list(self.holdings[uploader] - self.holdings[target])
+                if not missing:
+                    continue
+                chunk = int(self._rng.choice(missing))
+                self.holdings[target].add(chunk)
+                self._downloaded[target] += 1
+                totals = self._received_total[target]
+                totals[uploader] = totals.get(uploader, 0) + 1
+                budget -= 1
+                transferred += 1
+        return transferred
+
+    # ------------------------------------------------------------------ simulation
+
+    def run(self, num_rounds: int = 200) -> TitForTatResult:
+        """Run ``num_rounds`` rounds and return download statistics."""
+        if num_rounds < 1:
+            raise ValueError("num_rounds must be at least 1")
+        for _ in range(int(num_rounds)):
+            self.step()
+        peers = self.topology.peers()
+        rates = np.array([self._downloaded[peer] / float(num_rounds) for peer in peers])
+        completion = np.array(
+            [len(self.holdings[peer]) / float(self.num_chunks) for peer in peers]
+        )
+        free_rider_rates = [
+            self._downloaded[peer] / float(num_rounds) for peer in self.free_riders
+        ]
+        return TitForTatResult(
+            download_rates=rates,
+            completion_fraction=completion,
+            download_gini=gini_index(rates) if rates.sum() > 0 else 0.0,
+            free_rider_rate=float(np.mean(free_rider_rates)) if free_rider_rates else 0.0,
+        )

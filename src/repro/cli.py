@@ -1,0 +1,89 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig3 --scale default --seed 7
+    python -m repro.cli run fig9 --scale smoke --csv /tmp/fig9.csv
+
+``list`` prints every registered experiment with its paper section; ``run``
+executes one experiment and prints its tables (optionally also writing the
+first table as CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import describe_experiments, run_experiment
+from repro.experiments.common import Scale
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Exploring the Sustainability of Credit-incentivized "
+            "Peer-to-Peer Content Distribution' (ICDCSW 2012): run the paper's "
+            "figure experiments."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment and print its tables")
+    run_parser.add_argument("experiment", help="experiment id, e.g. fig3 (see `list`)")
+    run_parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in Scale],
+        default=Scale.DEFAULT.value,
+        help="reproduction scale (default: %(default)s)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    run_parser.add_argument(
+        "--csv",
+        default=None,
+        help="optional path to write the first result table as CSV",
+    )
+    return parser
+
+
+def _command_list() -> int:
+    rows = describe_experiments()
+    width = max(len(row["id"]) for row in rows)
+    for row in rows:
+        print(f"{row['id']:<{width}}  [Sec. {row['section']}]  {row['title']}")
+    return 0
+
+
+def _command_run(experiment: str, scale: str, seed: int, csv_path: Optional[str]) -> int:
+    try:
+        result = run_experiment(experiment, scale=scale, seed=seed)
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(result.format())
+    if csv_path:
+        with open(csv_path, "w", encoding="utf-8") as handle:
+            handle.write(result.table().to_csv())
+        print(f"\nwrote {csv_path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    return _command_run(args.experiment, args.scale, args.seed, args.csv)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro.cli`
+    sys.exit(main())

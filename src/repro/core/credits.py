@@ -1,0 +1,270 @@
+"""Wallets, transactions and a conservation-checked credit ledger.
+
+The credit system of the paper is a closed economy (Sec. III-B2): credits
+move between peers when chunks are bought, but — absent churn, taxation
+rebates or explicit injection — the total amount in circulation is
+constant.  The :class:`CreditLedger` enforces exactly that: every transfer
+debits one wallet and credits another atomically, and the ledger can verify
+conservation at any time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["InsufficientCreditsError", "Transaction", "Wallet", "CreditLedger"]
+
+
+class InsufficientCreditsError(RuntimeError):
+    """Raised when a debit would push a wallet balance below zero."""
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable record of one credit movement.
+
+    ``buyer_id`` / ``seller_id`` of ``None`` denote the system itself
+    (taxation pool, injection, churn entry/exit).
+    """
+
+    time: float
+    buyer_id: Optional[int]
+    seller_id: Optional[int]
+    amount: float
+    kind: str = "chunk"
+    chunk_index: Optional[int] = None
+
+
+class Wallet:
+    """A peer's credit pool.
+
+    Balances are floats (chunk prices need not be integral — the Poisson
+    pricing scheme of Fig. 1 charges varying whole amounts, but linear
+    pricing can produce fractional prices).  Balances can never go negative.
+    """
+
+    __slots__ = ("peer_id", "_balance", "_earned", "_spent")
+
+    def __init__(self, peer_id: int, initial_balance: float = 0.0) -> None:
+        if initial_balance < 0:
+            raise ValueError("initial_balance must be non-negative")
+        self.peer_id = int(peer_id)
+        self._balance = float(initial_balance)
+        self._earned = 0.0
+        self._spent = 0.0
+
+    @property
+    def balance(self) -> float:
+        """Current credit balance."""
+        return self._balance
+
+    @property
+    def total_earned(self) -> float:
+        """Cumulative credits received since creation (excluding the initial endowment)."""
+        return self._earned
+
+    @property
+    def total_spent(self) -> float:
+        """Cumulative credits paid out since creation."""
+        return self._spent
+
+    def can_afford(self, amount: float) -> bool:
+        """Whether the wallet can pay ``amount`` right now."""
+        return self._balance + 1e-12 >= amount >= 0
+
+    def credit(self, amount: float) -> None:
+        """Add ``amount`` credits to the wallet."""
+        if amount < 0:
+            raise ValueError("credit amount must be non-negative")
+        self._balance += amount
+        self._earned += amount
+
+    def debit(self, amount: float) -> None:
+        """Remove ``amount`` credits; raises :class:`InsufficientCreditsError` if short."""
+        if amount < 0:
+            raise ValueError("debit amount must be non-negative")
+        if amount > self._balance + 1e-12:
+            raise InsufficientCreditsError(
+                f"peer {self.peer_id} cannot pay {amount:.6g} (balance {self._balance:.6g})"
+            )
+        self._balance = max(0.0, self._balance - amount)
+        self._spent += amount
+
+    def __repr__(self) -> str:
+        return f"Wallet(peer_id={self.peer_id}, balance={self._balance:.4g})"
+
+
+class CreditLedger:
+    """Registry of wallets with atomic transfers and conservation checking.
+
+    Parameters
+    ----------
+    record_transactions:
+        When True (default), every movement is appended to
+        :attr:`transactions`; long simulations that only need aggregate
+        statistics can disable recording to save memory.
+    """
+
+    def __init__(self, record_transactions: bool = True) -> None:
+        self._wallets: Dict[int, Wallet] = {}
+        self.record_transactions = bool(record_transactions)
+        self.transactions: List[Transaction] = []
+        self._minted = 0.0
+        self._destroyed = 0.0
+        self._system_pool = 0.0
+
+    # ------------------------------------------------------------------ wallet management
+
+    def open_wallet(self, peer_id: int, initial_balance: float = 0.0) -> Wallet:
+        """Create a wallet for ``peer_id`` with an initial endowment (minting credits)."""
+        peer_id = int(peer_id)
+        if peer_id in self._wallets:
+            raise ValueError(f"peer {peer_id} already has a wallet")
+        wallet = Wallet(peer_id, initial_balance)
+        self._wallets[peer_id] = wallet
+        self._minted += float(initial_balance)
+        return wallet
+
+    def close_wallet(self, peer_id: int) -> float:
+        """Remove a wallet, destroying its remaining balance (the churn-departure rule).
+
+        Returns the destroyed amount.
+        """
+        wallet = self._wallets.pop(int(peer_id))
+        remaining = wallet.balance
+        self._destroyed += remaining
+        return remaining
+
+    def wallet(self, peer_id: int) -> Wallet:
+        """Return the wallet of ``peer_id`` (KeyError if absent)."""
+        return self._wallets[int(peer_id)]
+
+    def has_wallet(self, peer_id: int) -> bool:
+        """Whether ``peer_id`` currently has a wallet."""
+        return int(peer_id) in self._wallets
+
+    def peer_ids(self) -> List[int]:
+        """Sorted ids of peers with open wallets."""
+        return sorted(self._wallets)
+
+    def balances(self) -> Dict[int, float]:
+        """Mapping of peer id to current balance."""
+        return {peer_id: wallet.balance for peer_id, wallet in self._wallets.items()}
+
+    def balance_vector(self, order: Optional[Iterable[int]] = None) -> List[float]:
+        """Balances in a given peer order (default: sorted ids)."""
+        order = list(order) if order is not None else self.peer_ids()
+        return [self._wallets[peer].balance for peer in order]
+
+    # ------------------------------------------------------------------ movements
+
+    def transfer(
+        self,
+        buyer_id: int,
+        seller_id: int,
+        amount: float,
+        time: float = 0.0,
+        kind: str = "chunk",
+        chunk_index: Optional[int] = None,
+    ) -> Transaction:
+        """Move ``amount`` credits from buyer to seller atomically.
+
+        Raises :class:`InsufficientCreditsError` (leaving both balances
+        untouched) when the buyer cannot pay.
+        """
+        buyer = self.wallet(buyer_id)
+        seller = self.wallet(seller_id)
+        if amount < 0:
+            raise ValueError("transfer amount must be non-negative")
+        buyer.debit(amount)  # raises before any state changes if unaffordable
+        seller.credit(amount)
+        transaction = Transaction(
+            time=float(time),
+            buyer_id=int(buyer_id),
+            seller_id=int(seller_id),
+            amount=float(amount),
+            kind=kind,
+            chunk_index=chunk_index,
+        )
+        if self.record_transactions:
+            self.transactions.append(transaction)
+        return transaction
+
+    def collect_to_pool(self, peer_id: int, amount: float, time: float = 0.0) -> Transaction:
+        """Move credits from a peer into the system pool (tax collection)."""
+        wallet = self.wallet(peer_id)
+        wallet.debit(amount)
+        self._system_pool += amount
+        transaction = Transaction(
+            time=float(time), buyer_id=int(peer_id), seller_id=None, amount=float(amount),
+            kind="tax",
+        )
+        if self.record_transactions:
+            self.transactions.append(transaction)
+        return transaction
+
+    def disburse_from_pool(self, peer_id: int, amount: float, time: float = 0.0) -> Transaction:
+        """Move credits from the system pool to a peer (tax rebate)."""
+        if amount > self._system_pool + 1e-9:
+            raise ValueError(
+                f"system pool holds {self._system_pool:.6g}, cannot disburse {amount:.6g}"
+            )
+        self.wallet(peer_id).credit(amount)
+        self._system_pool = max(0.0, self._system_pool - amount)
+        transaction = Transaction(
+            time=float(time), buyer_id=None, seller_id=int(peer_id), amount=float(amount),
+            kind="rebate",
+        )
+        if self.record_transactions:
+            self.transactions.append(transaction)
+        return transaction
+
+    def inject(self, peer_id: int, amount: float, time: float = 0.0) -> Transaction:
+        """Mint new credits directly into a peer's wallet (credit injection)."""
+        if amount < 0:
+            raise ValueError("injection amount must be non-negative")
+        self.wallet(peer_id).credit(amount)
+        self._minted += amount
+        transaction = Transaction(
+            time=float(time), buyer_id=None, seller_id=int(peer_id), amount=float(amount),
+            kind="injection",
+        )
+        if self.record_transactions:
+            self.transactions.append(transaction)
+        return transaction
+
+    # ------------------------------------------------------------------ conservation
+
+    @property
+    def total_minted(self) -> float:
+        """Total credits ever created (initial endowments + injections)."""
+        return self._minted
+
+    @property
+    def total_destroyed(self) -> float:
+        """Total credits removed from the economy (departing peers' balances)."""
+        return self._destroyed
+
+    @property
+    def system_pool(self) -> float:
+        """Credits currently held by the system (collected taxes awaiting rebate)."""
+        return self._system_pool
+
+    def total_in_circulation(self) -> float:
+        """Sum of all open wallet balances plus the system pool."""
+        return sum(wallet.balance for wallet in self._wallets.values()) + self._system_pool
+
+    def conservation_error(self) -> float:
+        """``|minted − destroyed − in_circulation|`` — should be ~0 at all times."""
+        return abs(self._minted - self._destroyed - self.total_in_circulation())
+
+    def verify_conservation(self, tolerance: float = 1e-6) -> None:
+        """Raise ``AssertionError`` if the credit-conservation invariant is violated."""
+        error = self.conservation_error()
+        if error > tolerance:
+            raise AssertionError(
+                f"credit conservation violated: minted={self._minted:.6g}, "
+                f"destroyed={self._destroyed:.6g}, "
+                f"in_circulation={self.total_in_circulation():.6g} (error {error:.3g})"
+            )

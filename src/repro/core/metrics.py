@@ -1,0 +1,269 @@
+"""Inequality and wealth-distribution metrics.
+
+The paper measures the degree of wealth condensation with the Gini index
+computed from the Lorenz curve of the credit distribution (Sec. V-B2).
+This module provides:
+
+* :func:`gini_index` / :func:`lorenz_curve` for *samples* (one wealth value
+  per peer, as produced by the simulators);
+* :func:`gini_from_pmf` / :func:`lorenz_curve_from_pmf` for *probability
+  mass functions* (as produced by the queueing analysis, e.g. Eq. 8), using
+  the standard distributional definition ``G = E|X − X'| / (2 E[X])``;
+* complementary inequality measures (Theil, Hoover, Atkinson) and
+  convenience summaries (bankruptcy fraction, top-share, wealth summary).
+
+All functions treat wealth as non-negative; a population with zero total
+wealth has, by convention, Gini 0 (perfect equality at zero).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "gini_index",
+    "gini_from_pmf",
+    "lorenz_curve",
+    "lorenz_curve_from_pmf",
+    "gini_from_lorenz",
+    "theil_index",
+    "hoover_index",
+    "atkinson_index",
+    "bankruptcy_fraction",
+    "top_share",
+    "wealth_summary",
+]
+
+
+def _as_wealth_array(wealths: Sequence[float], name: str = "wealths") -> np.ndarray:
+    arr = np.asarray(list(wealths) if not isinstance(wealths, np.ndarray) else wealths,
+                     dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{name} must be a non-empty one-dimensional sequence")
+    if np.any(~np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    if np.any(arr < 0):
+        raise ValueError(f"{name} must be non-negative")
+    return arr
+
+
+def _as_pmf(pmf: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(pmf, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("pmf must be a non-empty one-dimensional sequence")
+    if np.any(arr < -1e-12):
+        raise ValueError("pmf must be non-negative")
+    arr = np.clip(arr, 0.0, None)
+    total = arr.sum()
+    if total <= 0:
+        raise ValueError("pmf must have positive total mass")
+    return arr / total
+
+
+# ---------------------------------------------------------------------- samples
+
+
+def gini_index(wealths: Sequence[float]) -> float:
+    """Gini index of a sample of peer wealths (0 = equality, → 1 = condensation).
+
+    Uses the sorted-ranks formula
+    ``G = (2 Σ_i i x_(i)) / (n Σ_i x_(i)) − (n + 1) / n``,
+    which matches the Lorenz-curve definition used in the paper.
+    """
+    arr = _as_wealth_array(wealths)
+    total = arr.sum()
+    if total <= 0:
+        return 0.0
+    sorted_arr = np.sort(arr)
+    n = arr.size
+    ranks = np.arange(1, n + 1)
+    return float(2.0 * np.dot(ranks, sorted_arr) / (n * total) - (n + 1.0) / n)
+
+
+def lorenz_curve(wealths: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Lorenz curve of a wealth sample.
+
+    Returns ``(population_fractions, wealth_fractions)`` arrays of length
+    ``n + 1`` starting at (0, 0) and ending at (1, 1): sort peers by wealth,
+    plot the cumulative share of peers against the cumulative share of
+    wealth they own.
+    """
+    arr = np.sort(_as_wealth_array(wealths))
+    n = arr.size
+    total = arr.sum()
+    population = np.arange(n + 1) / n
+    if total <= 0:
+        return population, population.copy()
+    cumulative = np.concatenate(([0.0], np.cumsum(arr))) / total
+    return population, cumulative
+
+
+def gini_from_lorenz(
+    population_fractions: Sequence[float], wealth_fractions: Sequence[float]
+) -> float:
+    """Gini index from a Lorenz curve via the trapezoid rule.
+
+    ``G = 1 − 2 ∫ L(p) dp`` — the ratio of the area between the equality
+    line and the Lorenz curve to the total area under the equality line.
+    """
+    p = np.asarray(population_fractions, dtype=float)
+    w = np.asarray(wealth_fractions, dtype=float)
+    if p.shape != w.shape or p.ndim != 1 or p.size < 2:
+        raise ValueError("population and wealth fractions must be equal-length 1-D arrays")
+    integrate = getattr(np, "trapezoid", None) or np.trapz
+    area = float(integrate(w, p))
+    return float(np.clip(1.0 - 2.0 * area, 0.0, 1.0))
+
+
+# ---------------------------------------------------------------------- distributions
+
+
+def gini_from_pmf(pmf: Sequence[float], support: Sequence[float] = None) -> float:
+    """Gini index of a discrete wealth *distribution* given by a PMF.
+
+    Uses the mean-absolute-difference definition
+    ``G = E|X − X'| / (2 E[X])`` with ``X, X'`` i.i.d. from the PMF — the
+    population Gini index of infinitely many peers drawing wealth
+    independently from this distribution, which is how the paper evaluates
+    the skewness of Eq. (8) in Figs. 2–3.
+
+    Parameters
+    ----------
+    pmf:
+        Probability of each support point (normalised internally).
+    support:
+        Wealth values; defaults to ``0, 1, ..., len(pmf) − 1``.
+    """
+    probs = _as_pmf(pmf)
+    values = (
+        np.arange(probs.size, dtype=float)
+        if support is None
+        else np.asarray(support, dtype=float)
+    )
+    if values.shape != probs.shape:
+        raise ValueError("support must have the same length as pmf")
+    if np.any(values < 0):
+        raise ValueError("support must be non-negative")
+    mean = float(np.dot(values, probs))
+    if mean <= 0:
+        return 0.0
+    order = np.argsort(values)
+    values = values[order]
+    probs = probs[order]
+    # E|X - X'| = 2 * integral of F(x)(1-F(x)) dx for the discrete case:
+    # sum over consecutive support gaps of F*(1-F)*gap.
+    cdf = np.cumsum(probs)
+    gaps = np.diff(values)
+    mean_abs_diff = 2.0 * float(np.sum(cdf[:-1] * (1.0 - cdf[:-1]) * gaps))
+    return float(np.clip(mean_abs_diff / (2.0 * mean), 0.0, 1.0))
+
+
+def lorenz_curve_from_pmf(
+    pmf: Sequence[float], support: Sequence[float] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lorenz curve of a discrete wealth distribution.
+
+    Returns ``(population_fractions, wealth_fractions)``: the x axis is the
+    cumulative probability of the poorest peers, the y axis the fraction of
+    total (expected) wealth they hold — exactly the construction used for
+    Fig. 2 of the paper.
+    """
+    probs = _as_pmf(pmf)
+    values = (
+        np.arange(probs.size, dtype=float)
+        if support is None
+        else np.asarray(support, dtype=float)
+    )
+    if values.shape != probs.shape:
+        raise ValueError("support must have the same length as pmf")
+    if np.any(values < 0):
+        raise ValueError("support must be non-negative")
+    order = np.argsort(values)
+    values = values[order]
+    probs = probs[order]
+    mean = float(np.dot(values, probs))
+    population = np.concatenate(([0.0], np.cumsum(probs)))
+    if mean <= 0:
+        return population, population.copy()
+    wealth = np.concatenate(([0.0], np.cumsum(values * probs))) / mean
+    return population, wealth
+
+
+# ---------------------------------------------------------------------- other indices
+
+
+def theil_index(wealths: Sequence[float]) -> float:
+    """Theil T index (0 = equality; larger = more unequal; unbounded)."""
+    arr = _as_wealth_array(wealths)
+    mean = arr.mean()
+    if mean <= 0:
+        return 0.0
+    ratios = arr / mean
+    positive = ratios[ratios > 0]
+    return float(np.sum(positive * np.log(positive)) / arr.size)
+
+
+def hoover_index(wealths: Sequence[float]) -> float:
+    """Hoover (Robin Hood) index: the fraction of total wealth that would
+    have to be redistributed to reach perfect equality."""
+    arr = _as_wealth_array(wealths)
+    total = arr.sum()
+    if total <= 0:
+        return 0.0
+    mean = arr.mean()
+    return float(np.sum(np.abs(arr - mean)) / (2.0 * total))
+
+
+def atkinson_index(wealths: Sequence[float], epsilon: float = 0.5) -> float:
+    """Atkinson index with inequality-aversion parameter ``epsilon`` > 0."""
+    arr = _as_wealth_array(wealths)
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    mean = arr.mean()
+    if mean <= 0:
+        return 0.0
+    if np.isclose(epsilon, 1.0):
+        positive = arr[arr > 0]
+        if positive.size < arr.size:
+            return 1.0  # any zero wealth makes the geometric mean zero
+        geo = np.exp(np.mean(np.log(positive)))
+        return float(1.0 - geo / mean)
+    transformed = np.mean(arr ** (1.0 - epsilon)) ** (1.0 / (1.0 - epsilon))
+    return float(1.0 - transformed / mean)
+
+
+def bankruptcy_fraction(wealths: Sequence[float], threshold: float = 0.0) -> float:
+    """Fraction of peers whose wealth is at or below ``threshold`` (default: flat broke)."""
+    arr = _as_wealth_array(wealths)
+    return float(np.mean(arr <= threshold + 1e-12))
+
+
+def top_share(wealths: Sequence[float], fraction: float = 0.1) -> float:
+    """Share of total wealth owned by the richest ``fraction`` of peers."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    arr = np.sort(_as_wealth_array(wealths))[::-1]
+    total = arr.sum()
+    if total <= 0:
+        return 0.0
+    count = max(1, int(round(arr.size * fraction)))
+    return float(arr[:count].sum() / total)
+
+
+def wealth_summary(wealths: Sequence[float]) -> Dict[str, float]:
+    """Convenience bundle of the main wealth statistics used in experiments."""
+    arr = _as_wealth_array(wealths)
+    return {
+        "num_peers": float(arr.size),
+        "total": float(arr.sum()),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "max": float(arr.max()),
+        "gini": gini_index(arr),
+        "theil": theil_index(arr),
+        "hoover": hoover_index(arr),
+        "bankrupt_fraction": bankruptcy_fraction(arr),
+        "top_10pct_share": top_share(arr, 0.1),
+    }

@@ -1,0 +1,37 @@
+"""Experiment runners: one per figure of the paper's evaluation.
+
+Every module ``figNN_*`` exposes a ``run(scale=..., seed=...)`` function
+returning an :class:`~repro.experiments.common.ExperimentResult`; the
+registry maps experiment ids (``"fig1"`` ... ``"fig11"``) to those
+runners so benchmarks, tests and the command line can invoke them
+uniformly.
+
+Scales
+------
+``smoke``
+    Seconds-scale configurations used by unit tests.
+``default``
+    The benchmark configurations: small enough to run the full suite in
+    minutes, large enough to exhibit every qualitative effect.
+``paper``
+    Populations and horizons matching the paper's Sec. VI settings (500 or
+    1000 peers, tens of thousands of simulated seconds); expect long runs.
+"""
+
+from repro.experiments.common import ExperimentResult, Scale, scale_parameters
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    describe_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "scale_parameters",
+    "EXPERIMENTS",
+    "describe_experiments",
+    "get_experiment",
+    "run_experiment",
+]

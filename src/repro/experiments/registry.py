@@ -1,0 +1,104 @@
+"""Registry mapping experiment ids to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    fig01_spending_rates,
+    fig02_lorenz,
+    fig03_gini_vs_wealth,
+    fig04_efficiency,
+    fig05_06_convergence,
+    fig07_08_gini_evolution,
+    fig09_taxation,
+    fig10_dynamic_spending,
+    fig11_churn,
+)
+from repro.experiments.common import ExperimentResult, Scale
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "describe_experiments"]
+
+Runner = Callable[..., ExperimentResult]
+
+EXPERIMENTS: Dict[str, Dict[str, object]] = {
+    "fig1": {
+        "runner": fig01_spending_rates.run,
+        "title": fig01_spending_rates.TITLE,
+        "section": "III-A",
+    },
+    "fig2": {
+        "runner": fig02_lorenz.run,
+        "title": fig02_lorenz.TITLE,
+        "section": "V-B1",
+    },
+    "fig3": {
+        "runner": fig03_gini_vs_wealth.run,
+        "title": fig03_gini_vs_wealth.TITLE,
+        "section": "V-B2",
+    },
+    "fig4": {
+        "runner": fig04_efficiency.run,
+        "title": fig04_efficiency.TITLE,
+        "section": "V-B3",
+    },
+    "fig5_6": {
+        "runner": fig05_06_convergence.run,
+        "title": fig05_06_convergence.TITLE,
+        "section": "VI-A",
+    },
+    "fig7": {
+        "runner": fig07_08_gini_evolution.run_symmetric,
+        "title": fig07_08_gini_evolution.TITLE_SYMMETRIC,
+        "section": "VI-A/B",
+    },
+    "fig8": {
+        "runner": fig07_08_gini_evolution.run_asymmetric,
+        "title": fig07_08_gini_evolution.TITLE_ASYMMETRIC,
+        "section": "VI-B",
+    },
+    "fig9": {
+        "runner": fig09_taxation.run,
+        "title": fig09_taxation.TITLE,
+        "section": "VI-C",
+    },
+    "fig10": {
+        "runner": fig10_dynamic_spending.run,
+        "title": fig10_dynamic_spending.TITLE,
+        "section": "VI-D",
+    },
+    "fig11": {
+        "runner": fig11_churn.run,
+        "title": fig11_churn.TITLE,
+        "section": "VI-E",
+    },
+}
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """Return the runner registered under ``experiment_id`` (KeyError when unknown)."""
+    try:
+        return EXPERIMENTS[experiment_id]["runner"]  # type: ignore[return-value]
+    except KeyError as error:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known ids: {known}") from error
+
+
+def run_experiment(
+    experiment_id: str, scale: str = Scale.DEFAULT, seed: int = 0
+) -> ExperimentResult:
+    """Run the experiment registered under ``experiment_id``."""
+    runner = get_experiment(experiment_id)
+    return runner(scale=scale, seed=seed)
+
+
+def describe_experiments() -> List[Dict[str, str]]:
+    """List every registered experiment with its paper section and title."""
+    return [
+        {
+            "id": experiment_id,
+            "section": str(entry["section"]),
+            "title": str(entry["title"]),
+        }
+        for experiment_id, entry in sorted(EXPERIMENTS.items())
+    ]

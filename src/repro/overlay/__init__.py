@@ -1,0 +1,44 @@
+"""P2P overlay substrate: topologies, membership and churn.
+
+The paper's simulations use scale-free overlays (power-law degree
+distribution with shape parameter 2.5 and mean degree 20) for a population
+of 500–1000 peers, plus dynamic overlays with Poisson arrivals and
+exponential lifespans (Sec. VI).  This package provides:
+
+* :class:`~repro.overlay.topology.OverlayTopology` — mutable neighbour
+  tables with join/leave support,
+* generators for scale-free, Erdős–Rényi, regular, ring and complete
+  topologies,
+* :class:`~repro.overlay.membership.MembershipTracker` — a tracker-style
+  membership service handing bootstrap neighbours to joining peers,
+* :class:`~repro.overlay.churn.ChurnProcess` — Poisson arrival /
+  exponential lifetime churn driving an open (dynamic) overlay.
+"""
+
+from repro.overlay.topology import OverlayTopology
+from repro.overlay.generators import (
+    barabasi_albert_topology,
+    complete_topology,
+    erdos_renyi_topology,
+    powerlaw_configuration_topology,
+    random_regular_topology,
+    ring_topology,
+    scale_free_topology,
+)
+from repro.overlay.membership import MembershipTracker
+from repro.overlay.churn import ChurnConfig, ChurnEvent, ChurnProcess
+
+__all__ = [
+    "OverlayTopology",
+    "scale_free_topology",
+    "powerlaw_configuration_topology",
+    "barabasi_albert_topology",
+    "erdos_renyi_topology",
+    "random_regular_topology",
+    "ring_topology",
+    "complete_topology",
+    "MembershipTracker",
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnProcess",
+]

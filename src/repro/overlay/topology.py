@@ -1,0 +1,236 @@
+"""Mutable overlay topology with neighbour tables and join/leave support."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["OverlayTopology"]
+
+
+class OverlayTopology:
+    """An undirected P2P overlay graph with explicit neighbour tables.
+
+    Peers are identified by integer ids.  The class wraps an adjacency-set
+    representation (rather than delegating every operation to networkx) so
+    the hot paths used by the simulators — neighbour lookup, degree queries,
+    join/leave — are dictionary operations; conversion to a
+    :class:`networkx.Graph` is available for analysis.
+
+    Examples
+    --------
+    >>> topo = OverlayTopology.from_edges(3, [(0, 1), (1, 2)])
+    >>> sorted(topo.neighbors(1))
+    [0, 2]
+    >>> topo.degree(1)
+    2
+    """
+
+    def __init__(self, peer_ids: Optional[Iterable[int]] = None) -> None:
+        self._adjacency: Dict[int, Set[int]] = {}
+        self._edge_count = 0
+        if peer_ids is not None:
+            for peer_id in peer_ids:
+                self.add_peer(int(peer_id))
+
+    # ------------------------------------------------------------------ construction
+
+    @classmethod
+    def from_edges(cls, num_peers: int, edges: Iterable[Tuple[int, int]]) -> "OverlayTopology":
+        """Build a topology on peers ``0..num_peers-1`` from an edge list."""
+        topo = cls(range(num_peers))
+        for u, v in edges:
+            topo.add_edge(int(u), int(v))
+        return topo
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "OverlayTopology":
+        """Build a topology from an undirected networkx graph (nodes must be ints)."""
+        topo = cls(int(node) for node in graph.nodes)
+        for u, v in graph.edges:
+            if u != v:
+                topo.add_edge(int(u), int(v))
+        return topo
+
+    def to_networkx(self) -> nx.Graph:
+        """Return a networkx copy of the overlay (for analysis/plotting)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._adjacency)
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def copy(self) -> "OverlayTopology":
+        """Return a deep copy of the topology."""
+        clone = OverlayTopology(self._adjacency)
+        for u, v in self.edges():
+            clone.add_edge(u, v)
+        return clone
+
+    # ------------------------------------------------------------------ peers
+
+    def add_peer(self, peer_id: int) -> None:
+        """Add an isolated peer (no-op if already present)."""
+        self._adjacency.setdefault(int(peer_id), set())
+
+    def remove_peer(self, peer_id: int) -> List[int]:
+        """Remove a peer and all its edges; return its former neighbours."""
+        peer_id = int(peer_id)
+        if peer_id not in self._adjacency:
+            raise KeyError(f"peer {peer_id} is not in the overlay")
+        former = sorted(self._adjacency[peer_id])
+        for neighbor in former:
+            self._adjacency[neighbor].discard(peer_id)
+            self._edge_count -= 1
+        del self._adjacency[peer_id]
+        return former
+
+    def has_peer(self, peer_id: int) -> bool:
+        """Whether ``peer_id`` is currently in the overlay."""
+        return int(peer_id) in self._adjacency
+
+    def peers(self) -> List[int]:
+        """Sorted list of current peer ids."""
+        return sorted(self._adjacency)
+
+    @property
+    def num_peers(self) -> int:
+        """Number of peers currently in the overlay."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges currently in the overlay."""
+        return self._edge_count
+
+    # ------------------------------------------------------------------ edges
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Connect peers ``u`` and ``v``; returns False if the edge already existed."""
+        u, v = int(u), int(v)
+        if u == v:
+            raise ValueError("self-loops are not allowed in the overlay")
+        if u not in self._adjacency or v not in self._adjacency:
+            raise KeyError(f"both endpoints must be in the overlay (got {u}, {v})")
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._edge_count += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Disconnect peers ``u`` and ``v`` (raises KeyError if not connected)."""
+        u, v = int(u), int(v)
+        if u not in self._adjacency or v not in self._adjacency[u]:
+            raise KeyError(f"edge ({u}, {v}) is not in the overlay")
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._edge_count -= 1
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether peers ``u`` and ``v`` are neighbours."""
+        return int(v) in self._adjacency.get(int(u), set())
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over undirected edges as ``(min, max)`` tuples, sorted."""
+        for u in sorted(self._adjacency):
+            for v in sorted(self._adjacency[u]):
+                if u < v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------ neighbour queries
+
+    def neighbors(self, peer_id: int) -> FrozenSet[int]:
+        """Frozen set of neighbour ids of ``peer_id``."""
+        peer_id = int(peer_id)
+        if peer_id not in self._adjacency:
+            raise KeyError(f"peer {peer_id} is not in the overlay")
+        return frozenset(self._adjacency[peer_id])
+
+    def degree(self, peer_id: int) -> int:
+        """Number of neighbours of ``peer_id``."""
+        peer_id = int(peer_id)
+        if peer_id not in self._adjacency:
+            raise KeyError(f"peer {peer_id} is not in the overlay")
+        return len(self._adjacency[peer_id])
+
+    def degrees(self) -> Dict[int, int]:
+        """Mapping of peer id to degree for every peer."""
+        return {peer: len(neigh) for peer, neigh in self._adjacency.items()}
+
+    def mean_degree(self) -> float:
+        """Average degree over current peers (0.0 for an empty overlay)."""
+        if not self._adjacency:
+            return 0.0
+        return 2.0 * self._edge_count / len(self._adjacency)
+
+    def isolated_peers(self) -> List[int]:
+        """Peers with no neighbours."""
+        return sorted(p for p, neigh in self._adjacency.items() if not neigh)
+
+    # ------------------------------------------------------------------ structure metrics
+
+    def is_connected(self) -> bool:
+        """Whether the overlay is a single connected component (False when empty)."""
+        if not self._adjacency:
+            return False
+        start = next(iter(self._adjacency))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self._adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self._adjacency)
+
+    def connected_components(self) -> List[Set[int]]:
+        """Return connected components as a list of peer-id sets (largest first)."""
+        remaining = set(self._adjacency)
+        components: List[Set[int]] = []
+        while remaining:
+            start = next(iter(remaining))
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            components.append(seen)
+            remaining -= seen
+        components.sort(key=len, reverse=True)
+        return components
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Return ``{degree: number of peers with that degree}``."""
+        histogram: Dict[int, int] = {}
+        for neighbors in self._adjacency.values():
+            histogram[len(neighbors)] = histogram.get(len(neighbors), 0) + 1
+        return histogram
+
+    def adjacency_matrix(self, order: Optional[List[int]] = None) -> np.ndarray:
+        """Dense 0/1 adjacency matrix in the given peer order (default: sorted ids)."""
+        order = list(order) if order is not None else self.peers()
+        index = {peer: i for i, peer in enumerate(order)}
+        matrix = np.zeros((len(order), len(order)))
+        for u, v in self.edges():
+            if u in index and v in index:
+                matrix[index[u], index[v]] = 1.0
+                matrix[index[v], index[u]] = 1.0
+        return matrix
+
+    # ------------------------------------------------------------------ dunder
+
+    def __contains__(self, peer_id: int) -> bool:
+        return self.has_peer(peer_id)
+
+    def __len__(self) -> int:
+        return self.num_peers
+
+    def __repr__(self) -> str:
+        return f"OverlayTopology(num_peers={self.num_peers}, num_edges={self.num_edges})"

@@ -1,0 +1,37 @@
+"""Integrated credit-incentivized P2P simulators.
+
+Two simulators reproduce the paper's Sec. VI study at different levels of
+detail:
+
+* :class:`~repro.p2psim.market_sim.CreditMarketSimulator` — a
+  transaction-level simulator of the credit circulation itself (one event =
+  one credit changing hands), equivalent to simulating the Jackson-network
+  CTMC of Table I directly.  It supports symmetric/asymmetric utilization,
+  taxation, dynamic spending rates and peer churn, and is fast enough to
+  sweep the parameter ranges of Figs. 3 and 7–11.
+* :class:`~repro.p2psim.streaming_sim.StreamingMarketSimulator` — a
+  chunk-level discrete-event simulator of the UUSee-like mesh-pull
+  streaming protocol with per-chunk credit settlement (buffer maps, chunk
+  scheduling, playback), used for Figs. 1, 5 and 6 where chunk-level
+  behaviour (spending rates, convergence of the wealth profile) is the
+  quantity of interest.
+
+Both share the :class:`~repro.p2psim.recorder.WealthRecorder` for Gini /
+snapshot time series.
+"""
+
+from repro.p2psim.config import MarketSimConfig, StreamingSimConfig, UtilizationMode
+from repro.p2psim.recorder import WealthRecorder
+from repro.p2psim.market_sim import CreditMarketSimulator, MarketSimResult
+from repro.p2psim.streaming_sim import StreamingMarketSimulator, StreamingSimResult
+
+__all__ = [
+    "UtilizationMode",
+    "MarketSimConfig",
+    "StreamingSimConfig",
+    "WealthRecorder",
+    "CreditMarketSimulator",
+    "MarketSimResult",
+    "StreamingMarketSimulator",
+    "StreamingSimResult",
+]

@@ -1,0 +1,85 @@
+"""Wealth time-series recorder shared by both simulators."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import bankruptcy_fraction, gini_index
+from repro.utils.records import SeriesRecord
+
+__all__ = ["WealthRecorder"]
+
+
+class WealthRecorder:
+    """Records the evolution of the wealth distribution during a simulation.
+
+    At every sample the recorder stores the Gini index, the bankruptcy
+    fraction, the mean wealth and (optionally) a full sorted snapshot of the
+    wealth vector — the raw material for Figs. 5–11 of the paper.
+
+    Parameters
+    ----------
+    snapshot_times:
+        Simulation times at which a full sorted wealth snapshot should be
+        kept (e.g. the curve times of Figs. 5 and 6).  Samples falling at or
+        after a requested time consume it (so snapshot times need not align
+        exactly with the sampling grid).
+    """
+
+    def __init__(self, snapshot_times: Optional[Sequence[float]] = None) -> None:
+        self.gini_series = SeriesRecord(label="gini")
+        self.bankrupt_series = SeriesRecord(label="bankrupt_fraction")
+        self.mean_wealth_series = SeriesRecord(label="mean_wealth")
+        self.population_series = SeriesRecord(label="population")
+        self.snapshots: Dict[float, np.ndarray] = {}
+        self._pending_snapshots = sorted(float(t) for t in (snapshot_times or []))
+
+    # ------------------------------------------------------------------ recording
+
+    def record(self, time: float, wealths: Sequence[float]) -> None:
+        """Record one sample of the wealth vector at simulation time ``time``."""
+        arr = np.asarray(list(wealths), dtype=float)
+        if arr.size == 0:
+            return
+        time = float(time)
+        self.gini_series.append(time, gini_index(arr))
+        self.bankrupt_series.append(time, bankruptcy_fraction(arr))
+        self.mean_wealth_series.append(time, float(arr.mean()))
+        self.population_series.append(time, float(arr.size))
+        while self._pending_snapshots and time >= self._pending_snapshots[0]:
+            requested = self._pending_snapshots.pop(0)
+            self.snapshots[requested] = np.sort(arr)
+
+    # ------------------------------------------------------------------ queries
+
+    def final_gini(self) -> float:
+        """The last recorded Gini index."""
+        return self.gini_series.final_value()
+
+    def stabilized_gini(self, tail_fraction: float = 0.25) -> float:
+        """Mean Gini over the last ``tail_fraction`` of samples (convergence value)."""
+        return self.gini_series.tail_mean(tail_fraction)
+
+    def gini_at(self, time: float) -> float:
+        """Gini of the latest sample at or before ``time`` (first sample if earlier)."""
+        xs = self.gini_series.x
+        ys = self.gini_series.y
+        if not xs:
+            raise ValueError("no samples recorded")
+        index = int(np.searchsorted(xs, float(time), side="right")) - 1
+        index = max(0, index)
+        return float(ys[index])
+
+    def snapshot_profiles(self) -> List[np.ndarray]:
+        """Sorted wealth snapshots in chronological order of their requested times."""
+        return [self.snapshots[time] for time in sorted(self.snapshots)]
+
+    def has_converged(self, window: int = 5, tolerance: float = 0.05) -> bool:
+        """Heuristic convergence check: the last ``window`` Gini samples span < ``tolerance``."""
+        ys = self.gini_series.y
+        if len(ys) < window:
+            return False
+        tail = ys[-window:]
+        return (max(tail) - min(tail)) < tolerance

@@ -1,0 +1,396 @@
+"""Chunk-level discrete-event simulator of a credit-incentivized streaming swarm.
+
+This is the detailed counterpart of
+:class:`~repro.p2psim.market_sim.CreditMarketSimulator`: instead of moving
+credits directly, peers run a mesh-pull streaming protocol (UUSee-like, as
+in Sec. VI of the paper) and credits move only when a chunk is actually
+bought from a neighbour:
+
+* the source emits the live chunk stream and seeds every new chunk to a few
+  random peers;
+* every ``scheduling_interval`` seconds each peer looks at the buffer maps
+  of its neighbours, picks the missing chunks closest to its playback
+  deadline, chooses the cheapest supplier for each and pays the supplier's
+  price from its wallet (skipping chunks it cannot afford — the budget
+  constraint that couples wealth to download performance);
+* purchased chunks arrive after a transfer latency and playback advances at
+  the stream rate, recording continuity.
+
+The simulator produces per-peer credit spending rates (Fig. 1), wealth
+profiles over time (Figs. 5–6) and the same Gini time series as the market
+simulator, at higher fidelity and higher cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.credits import CreditLedger
+from repro.core.spending import FixedSpendingPolicy
+from repro.core.taxation import NoTax
+from repro.overlay.generators import scale_free_topology
+from repro.overlay.topology import OverlayTopology
+from repro.p2psim.config import StreamingSimConfig
+from repro.p2psim.recorder import WealthRecorder
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.process import PeriodicProcess
+from repro.streaming.chunks import Chunk, ChunkStore
+from repro.streaming.playback import PlaybackBuffer
+from repro.streaming.scheduler import PlaybackDrivenScheduler
+from repro.streaming.source import StreamSource
+
+__all__ = ["StreamingSimResult", "StreamingPeer", "StreamingMarketSimulator"]
+
+
+@dataclass
+class StreamingSimResult:
+    """Output of one :class:`StreamingMarketSimulator` run.
+
+    Attributes
+    ----------
+    config:
+        The configuration that produced the run.
+    recorder:
+        Wealth time series (Gini, bankruptcy fraction, snapshots).
+    final_wealths:
+        Final wallet balances, in peer-id order.
+    spending_rates:
+        Credit spending rate of every peer measured over the second half of
+        the run (credits per second) — the quantity plotted in Fig. 1.
+    earning_rates:
+        Credit earning rate over the same window.
+    continuity:
+        Playback continuity (fraction of due chunks held at their deadline)
+        per peer.
+    chunks_delivered:
+        Total chunks purchased and delivered across the swarm.
+    """
+
+    config: StreamingSimConfig
+    recorder: WealthRecorder
+    final_wealths: np.ndarray
+    spending_rates: np.ndarray
+    earning_rates: np.ndarray
+    continuity: np.ndarray
+    chunks_delivered: int
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def final_gini(self) -> float:
+        """Gini index of wealth at the end of the run."""
+        return self.recorder.final_gini()
+
+    @property
+    def spending_rate_gini(self) -> float:
+        """Gini index of the per-peer credit spending rates (the Fig. 1 statistic)."""
+        from repro.core.metrics import gini_index
+
+        return gini_index(self.spending_rates)
+
+
+class StreamingPeer(PeriodicProcess):
+    """One streaming peer: buffer map + wallet + chunk scheduling + playback."""
+
+    def __init__(
+        self,
+        peer_id: int,
+        simulator: "StreamingMarketSimulator",
+        scheduling_interval: float,
+        jitter: float,
+    ) -> None:
+        super().__init__(interval=scheduling_interval, name=f"peer:{peer_id}")
+        self.peer_id = int(peer_id)
+        self._sim = simulator
+        self.store = ChunkStore(window_size=4 * simulator.config.playback_window)
+        self.playback = PlaybackBuffer(
+            playback_rate=simulator.config.chunk_rate,
+            startup_chunks=simulator.config.startup_chunks,
+        )
+        self.scheduler = PlaybackDrivenScheduler(
+            max_requests_per_round=simulator.config.max_requests_per_round,
+            rng=simulator.rng_for(f"scheduler:{peer_id}"),
+            supplier_choice=simulator.config.supplier_choice,
+        )
+        self._initial_offset = jitter
+        self.window_spent = 0.0
+        self.window_earned = 0.0
+
+    def on_start(self) -> None:
+        self.playback.note_join(self.now)
+        # Spread the first scheduling round over one interval to avoid
+        # lock-step behaviour across the whole swarm.
+        self.call_in(self._initial_offset, self._first_tick, label=f"{self.name}.bootstrap")
+
+    def _first_tick(self) -> None:
+        self._fire()
+
+    def _fire(self) -> None:  # override PeriodicProcess wiring for the jittered start
+        self.ticks += 1
+        self.tick()
+        if self.is_running:
+            self.call_in(self.interval, self._fire, label=f"{self.name}.tick")
+
+    # ------------------------------------------------------------------ protocol round
+
+    def tick(self) -> None:
+        sim = self._sim
+        live_edge = sim.source.latest_index
+        if live_edge < 0:
+            return
+        playback_point = self.playback.playback_point
+        window_stop = min(live_edge + 1, playback_point + sim.config.playback_window)
+        want_range = range(playback_point, window_stop)
+
+        neighbor_maps = sim.neighbor_buffer_maps(self.peer_id)
+        balance = sim.ledger.wallet(self.peer_id).balance
+        requests = self.scheduler.schedule(
+            own_map=self.store.buffer_map,
+            neighbor_maps=neighbor_maps,
+            want_range=want_range,
+            price_lookup=sim.price_lookup,
+            budget=balance,
+            load_lookup=sim.upload_load,
+        )
+        for request in requests:
+            sim.execute_purchase(
+                buyer_id=self.peer_id,
+                seller_id=request.supplier_id,
+                chunk_index=request.chunk_index,
+                suppliers=[
+                    neighbor
+                    for neighbor, buffer_map in neighbor_maps.items()
+                    if request.chunk_index in buffer_map
+                ],
+            )
+        self.playback.advance(self.store.buffer_map, self.now)
+
+    # ------------------------------------------------------------------ chunk delivery
+
+    def deliver_chunk(self, chunk: Chunk) -> None:
+        """Receive a chunk (purchased or seeded by the source)."""
+        self.store.insert(chunk)
+        self.playback.maybe_start(self.store.buffer_map, self.now)
+
+
+class StreamingMarketSimulator:
+    """Builds and runs a credit-incentivized streaming swarm simulation."""
+
+    def __init__(
+        self,
+        config: StreamingSimConfig,
+        topology: Optional[OverlayTopology] = None,
+        snapshot_times: Optional[Sequence[float]] = None,
+        seed_fanout: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.engine = SimulationEngine(seed=config.seed)
+        self.topology = (
+            topology
+            if topology is not None
+            else scale_free_topology(
+                config.num_peers,
+                shape=config.topology_shape,
+                mean_degree=config.topology_mean_degree,
+                seed=config.seed,
+            )
+        )
+        self.recorder = WealthRecorder(snapshot_times=snapshot_times)
+        self.ledger = CreditLedger(record_transactions=False)
+        self.seed_fanout = max(1, int(seed_fanout if seed_fanout is not None else config.seed_fanout))
+        self.chunks_delivered = 0
+        self._measure_start = config.horizon / 2.0
+
+        self.source = StreamSource(chunk_rate=config.chunk_rate)
+        self.source.subscribe(self._seed_chunk)
+
+        self.peers: Dict[int, StreamingPeer] = {}
+        jitter_rng = self.engine.rng("peer-jitter")
+        for peer_id in self.topology.peers():
+            self.ledger.open_wallet(peer_id, config.initial_credits)
+            peer = StreamingPeer(
+                peer_id,
+                self,
+                scheduling_interval=config.scheduling_interval,
+                jitter=float(jitter_rng.uniform(0.0, config.scheduling_interval)),
+            )
+            self.peers[peer_id] = peer
+
+        self._spent_window: Dict[int, float] = {peer: 0.0 for peer in self.peers}
+        self._earned_window: Dict[int, float] = {peer: 0.0 for peer in self.peers}
+        # Per-seller upload accounting: (scheduling-interval epoch, uploads used in it).
+        self._upload_used: Dict[int, List[float]] = {peer: [-1.0, 0.0] for peer in self.peers}
+        # Cumulative uploads per seller, used by the least-loaded supplier policy.
+        self._uploads_total: Dict[int, float] = {peer: 0.0 for peer in self.peers}
+
+    # ------------------------------------------------------------------ wiring helpers
+
+    def rng_for(self, label: str) -> np.random.Generator:
+        """Named RNG stream scoped to this simulation's seed."""
+        return self.engine.rng(label)
+
+    def neighbor_buffer_maps(self, peer_id: int) -> Dict[int, "ChunkStore"]:
+        """Buffer maps currently advertised by the neighbours of ``peer_id``."""
+        return {
+            neighbor: self.peers[neighbor].store.buffer_map
+            for neighbor in self.topology.neighbors(peer_id)
+            if neighbor in self.peers
+        }
+
+    def price_lookup(self, seller_id: int, chunk_index: int) -> float:
+        """Posted price of ``seller_id`` for ``chunk_index`` (scheduler callback)."""
+        return float(self.config.pricing.price(seller_id, chunk_index))
+
+    def upload_load(self, seller_id: int) -> float:
+        """Cumulative uploads served by ``seller_id`` (scheduler load-balancing callback)."""
+        return self._uploads_total.get(seller_id, 0.0)
+
+    # ------------------------------------------------------------------ chunk / credit flow
+
+    def _seed_chunk(self, chunk: Chunk) -> None:
+        """Push a freshly emitted chunk to a few random peers (source seeding)."""
+        rng = self.engine.rng("seeding")
+        peer_ids = list(self.peers)
+        if not peer_ids:
+            return
+        fanout = min(self.seed_fanout, len(peer_ids))
+        chosen = rng.choice(peer_ids, size=fanout, replace=False)
+        for peer_id in chosen:
+            self.peers[int(peer_id)].deliver_chunk(chunk)
+
+    def _upload_slot_available(self, seller_id: int) -> bool:
+        """Whether ``seller_id`` still has upload capacity in the current epoch."""
+        epoch = np.floor(self.engine.now / self.config.scheduling_interval)
+        record = self._upload_used.setdefault(seller_id, [-1.0, 0.0])
+        if record[0] != epoch:
+            record[0] = epoch
+            record[1] = 0.0
+        return record[1] < self.config.upload_capacity
+
+    def _consume_upload_slot(self, seller_id: int) -> None:
+        self._upload_used[seller_id][1] += 1.0
+        self._uploads_total[seller_id] = self._uploads_total.get(seller_id, 0.0) + 1.0
+
+    def execute_purchase(
+        self,
+        buyer_id: int,
+        seller_id: int,
+        chunk_index: int,
+        suppliers: Optional[List[int]] = None,
+    ) -> bool:
+        """Settle one chunk purchase: transfer credits now, deliver the chunk after latency.
+
+        When the chosen seller has exhausted its upload capacity for the
+        current scheduling interval the purchase falls back to another
+        supplier of the same chunk (if any has capacity left).  Returns
+        False (and does nothing) when no capable supplier remains or the
+        buyer cannot afford the settled price.
+        """
+        buyer = self.peers.get(buyer_id)
+        if buyer is None:
+            return False
+        if not self._upload_slot_available(seller_id) and suppliers:
+            rng = self.engine.rng("upload-fallback")
+            alternatives = [
+                candidate
+                for candidate in suppliers
+                if candidate != seller_id
+                and candidate in self.peers
+                and self._upload_slot_available(candidate)
+                and self.peers[candidate].store.has(chunk_index)
+            ]
+            if not alternatives:
+                return False
+            seller_id = int(alternatives[int(rng.integers(len(alternatives)))])
+        elif not self._upload_slot_available(seller_id):
+            return False
+        seller = self.peers.get(seller_id)
+        if seller is None:
+            return False
+        chunk = seller.store.get(chunk_index)
+        if chunk is None:
+            return False
+        price = self.config.pricing.settle(
+            seller_id, chunk_index, buyer_id=buyer_id, competing_sellers=suppliers
+        )
+        wallet = self.ledger.wallet(buyer_id)
+        if price > 0 and not wallet.can_afford(price):
+            return False
+        if price > 0:
+            self.ledger.transfer(
+                buyer_id, seller_id, price, time=self.engine.now, chunk_index=chunk_index
+            )
+            self.config.tax_policy.on_income(
+                self.ledger, seller_id, price, self.engine.now, list(self.peers)
+            )
+        self.config.pricing.note_purchase(seller_id, chunk_index, buyer_id)
+        self._consume_upload_slot(seller_id)
+        if self.engine.now >= self._measure_start:
+            self._spent_window[buyer_id] = self._spent_window.get(buyer_id, 0.0) + price
+            self._earned_window[seller_id] = self._earned_window.get(seller_id, 0.0) + price
+        self.engine.schedule_in(
+            self.config.transfer_latency,
+            lambda _engine, b=buyer, c=chunk: b.deliver_chunk(c),
+            label=f"deliver:{chunk_index}->{buyer_id}",
+        )
+        self.chunks_delivered += 1
+        return True
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> StreamingSimResult:
+        """Run the simulation for the configured horizon and return the result."""
+        config = self.config
+        self.source.start(self.engine)
+        for peer in self.peers.values():
+            peer.start(self.engine)
+        # Pre-fill the swarm with a little history so playback can begin.
+        self.source.emit_backlog(config.startup_chunks)
+
+        sample_times = np.arange(0.0, config.horizon + 1e-9, config.sample_interval)
+        for sample_time in sample_times:
+            self.engine.run(until=float(sample_time))
+            self._record_sample()
+        self.engine.run(until=config.horizon)
+        self._record_sample()
+        return self._build_result()
+
+    def _record_sample(self) -> None:
+        order = sorted(self.peers)
+        balances = [self.ledger.wallet(peer).balance for peer in order]
+        self.recorder.record(self.engine.now, balances)
+
+    def _build_result(self) -> StreamingSimResult:
+        order = sorted(self.peers)
+        window = max(self.config.horizon - self._measure_start, 1e-9)
+        final_wealths = np.array([self.ledger.wallet(peer).balance for peer in order])
+        spending = np.array([self._spent_window.get(peer, 0.0) / window for peer in order])
+        earning = np.array([self._earned_window.get(peer, 0.0) / window for peer in order])
+        continuity = np.array([self.peers[peer].playback.stats.continuity for peer in order])
+        return StreamingSimResult(
+            config=self.config,
+            recorder=self.recorder,
+            final_wealths=final_wealths,
+            spending_rates=spending,
+            earning_rates=earning,
+            continuity=continuity,
+            chunks_delivered=self.chunks_delivered,
+            extras={
+                "peer_order": order,
+                "source_chunks": self.source.chunks_emitted,
+            },
+        )
+
+    # ------------------------------------------------------------------ conveniences
+
+    @classmethod
+    def run_config(
+        cls,
+        config: StreamingSimConfig,
+        topology: Optional[OverlayTopology] = None,
+        snapshot_times: Optional[Sequence[float]] = None,
+    ) -> StreamingSimResult:
+        """Build a simulator for ``config`` and run it to completion."""
+        return cls(config, topology=topology, snapshot_times=snapshot_times).run()

@@ -1,0 +1,122 @@
+"""Single-queue building blocks: M/M/1 and M/M/1/K.
+
+These closed-form models back-stop tests of the network classes (an open
+Jackson network with one queue must agree with M/M/1) and provide the
+per-peer view used in documentation examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["MM1Queue", "MM1KQueue"]
+
+
+@dataclass(frozen=True)
+class MM1Queue:
+    """An M/M/1 queue with Poisson arrivals ``λ`` and exponential service ``μ``."""
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.arrival_rate, "arrival_rate")
+        check_positive(self.service_rate, "service_rate")
+
+    @property
+    def utilization(self) -> float:
+        """``ρ = λ / μ``."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether ``ρ < 1``."""
+        return self.utilization < 1.0
+
+    def _require_stable(self) -> None:
+        if not self.is_stable:
+            raise ValueError("the M/M/1 queue is unstable (rho >= 1)")
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Expected number in system ``ρ / (1 − ρ)``."""
+        self._require_stable()
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Expected time in system ``1 / (μ − λ)``."""
+        self._require_stable()
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    @property
+    def idle_probability(self) -> float:
+        """``P(empty) = 1 − ρ``."""
+        self._require_stable()
+        return 1.0 - self.utilization
+
+    def queue_length_pmf(self, max_jobs: int) -> np.ndarray:
+        """Geometric PMF of the number in system, truncated at ``max_jobs``."""
+        self._require_stable()
+        rho = self.utilization
+        support = np.arange(int(max_jobs) + 1)
+        return (1.0 - rho) * rho**support
+
+    def tail_probability(self, threshold: int) -> float:
+        """``P(queue length >= threshold) = ρ^threshold``."""
+        self._require_stable()
+        threshold = int(threshold)
+        if threshold <= 0:
+            return 1.0
+        return float(self.utilization**threshold)
+
+
+@dataclass(frozen=True)
+class MM1KQueue:
+    """An M/M/1/K queue (finite buffer of K jobs, arrivals beyond K are lost)."""
+
+    arrival_rate: float
+    service_rate: float
+    capacity: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.arrival_rate, "arrival_rate")
+        check_positive(self.service_rate, "service_rate")
+        if int(self.capacity) < 1:
+            raise ValueError("capacity must be at least 1")
+
+    @property
+    def utilization(self) -> float:
+        """Offered load ``ρ = λ / μ`` (may exceed 1 for a finite buffer)."""
+        return self.arrival_rate / self.service_rate
+
+    def queue_length_pmf(self) -> np.ndarray:
+        """Exact PMF of the number in system over ``0..K``."""
+        rho = self.utilization
+        k = int(self.capacity)
+        support = np.arange(k + 1)
+        if np.isclose(rho, 1.0):
+            return np.full(k + 1, 1.0 / (k + 1))
+        weights = rho**support
+        return weights / weights.sum()
+
+    @property
+    def blocking_probability(self) -> float:
+        """Probability an arriving job finds the buffer full and is lost."""
+        return float(self.queue_length_pmf()[-1])
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Expected number in system."""
+        pmf = self.queue_length_pmf()
+        return float(np.dot(np.arange(len(pmf)), pmf))
+
+    @property
+    def effective_throughput(self) -> float:
+        """Rate of jobs actually served: ``λ (1 − P_block)``."""
+        return self.arrival_rate * (1.0 - self.blocking_probability)

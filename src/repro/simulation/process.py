@@ -1,0 +1,163 @@
+"""Process abstractions layered over the event engine.
+
+A :class:`Process` owns a position in simulated time and can (re)schedule
+its own activity; a :class:`PeriodicProcess` fires at a fixed or randomised
+interval until stopped.  Peer agents, churn generators and samplers are all
+processes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.simulation.engine import EventHandle, SimulationEngine
+
+__all__ = ["ProcessState", "Process", "PeriodicProcess"]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a :class:`Process`."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+class Process:
+    """Base class for simulation actors.
+
+    Subclasses override :meth:`on_start` to schedule their first activity and
+    may override :meth:`on_stop` for teardown.  The engine reference becomes
+    available after :meth:`start` is called.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or self.__class__.__name__
+        self._engine: Optional[SimulationEngine] = None
+        self._state = ProcessState.CREATED
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def engine(self) -> SimulationEngine:
+        """The engine this process is attached to (raises before :meth:`start`)."""
+        if self._engine is None:
+            raise RuntimeError(f"process {self.name!r} has not been started")
+        return self._engine
+
+    @property
+    def state(self) -> ProcessState:
+        """Current lifecycle state."""
+        return self._state
+
+    @property
+    def is_running(self) -> bool:
+        """True while the process is started and not stopped."""
+        return self._state is ProcessState.RUNNING
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (convenience proxy to the engine clock)."""
+        return self.engine.now
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self, engine: SimulationEngine) -> None:
+        """Attach to ``engine`` and invoke :meth:`on_start`."""
+        if self._state is ProcessState.RUNNING:
+            raise RuntimeError(f"process {self.name!r} is already running")
+        self._engine = engine
+        self._state = ProcessState.RUNNING
+        self.on_start()
+
+    def stop(self) -> None:
+        """Stop the process and invoke :meth:`on_stop` (idempotent)."""
+        if self._state is not ProcessState.RUNNING:
+            return
+        self._state = ProcessState.STOPPED
+        self.on_stop()
+
+    def on_start(self) -> None:
+        """Hook run when the process starts; subclasses schedule their first event here."""
+
+    def on_stop(self) -> None:
+        """Hook run when the process stops; subclasses cancel pending events here."""
+
+    # ------------------------------------------------------------------ scheduling sugar
+
+    def call_in(self, delay: float, callback: Callable[[], None], *, label: str = "") -> EventHandle:
+        """Schedule ``callback()`` to run ``delay`` seconds from now.
+
+        The callback is skipped automatically if the process has been stopped
+        by the time the event fires.
+        """
+
+        def guarded(_engine: SimulationEngine) -> None:
+            if self.is_running:
+                callback()
+
+        return self.engine.schedule_in(delay, guarded, label=label or self.name)
+
+    def call_at(self, time: float, callback: Callable[[], None], *, label: str = "") -> EventHandle:
+        """Schedule ``callback()`` to run at absolute time ``time`` (guarded like :meth:`call_in`)."""
+
+        def guarded(_engine: SimulationEngine) -> None:
+            if self.is_running:
+                callback()
+
+        return self.engine.schedule_at(time, guarded, label=label or self.name)
+
+
+class PeriodicProcess(Process):
+    """A process that invokes :meth:`tick` repeatedly.
+
+    Parameters
+    ----------
+    interval:
+        Nominal seconds between ticks.
+    jitter:
+        Optional callable returning an additive random offset for each
+        interval (e.g. ``lambda: rng.uniform(-0.1, 0.1)``); the effective
+        interval is clamped to be non-negative.
+    name:
+        Process name for diagnostics.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        jitter: Optional[Callable[[], float]] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(name=name)
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self._jitter = jitter
+        self._pending: Optional[EventHandle] = None
+        self.ticks = 0
+
+    def on_start(self) -> None:
+        self._schedule_next()
+
+    def on_stop(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _schedule_next(self) -> None:
+        delay = self.interval
+        if self._jitter is not None:
+            delay = max(0.0, delay + float(self._jitter()))
+        self._pending = self.call_in(delay, self._fire, label=f"{self.name}.tick")
+
+    def _fire(self) -> None:
+        self.ticks += 1
+        self.tick()
+        if self.is_running:
+            self._schedule_next()
+
+    def tick(self) -> None:
+        """Periodic activity; subclasses override."""
+        raise NotImplementedError

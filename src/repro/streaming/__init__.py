@@ -1,0 +1,33 @@
+"""Mesh-pull P2P live-streaming substrate (UUSee-like protocol core).
+
+The paper's simulation study (Sec. VI) runs a mesh-based P2P live-streaming
+protocol "similar to that of UUSee": the source emits a chunk stream at a
+fixed rate, peers advertise buffer maps to their neighbours and pull missing
+chunks from neighbours that hold them, and playback proceeds at the stream
+rate behind a start-up delay.  This package provides the protocol mechanics
+(chunks, buffer maps, chunk scheduling, playback accounting); credit
+settlement on top of chunk transfers lives in :mod:`repro.p2psim`.
+"""
+
+from repro.streaming.chunks import BufferMap, Chunk, ChunkStore
+from repro.streaming.source import StreamSource
+from repro.streaming.scheduler import (
+    ChunkRequest,
+    ChunkScheduler,
+    PlaybackDrivenScheduler,
+    RarestFirstScheduler,
+)
+from repro.streaming.playback import PlaybackBuffer, PlaybackStats
+
+__all__ = [
+    "Chunk",
+    "BufferMap",
+    "ChunkStore",
+    "StreamSource",
+    "ChunkRequest",
+    "ChunkScheduler",
+    "RarestFirstScheduler",
+    "PlaybackDrivenScheduler",
+    "PlaybackBuffer",
+    "PlaybackStats",
+]

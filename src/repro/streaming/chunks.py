@@ -1,0 +1,160 @@
+"""Chunk, buffer-map and chunk-store primitives for the streaming substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+
+__all__ = ["Chunk", "BufferMap", "ChunkStore"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A unit of streamed content.
+
+    Attributes
+    ----------
+    index:
+        Position of the chunk in the stream (0-based, monotonically
+        increasing with playback time).
+    size_bytes:
+        Payload size; only used by bandwidth accounting.
+    origin_time:
+        Simulation time at which the source emitted the chunk.
+    """
+
+    index: int
+    size_bytes: int = 64_000
+    origin_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"chunk index must be non-negative, got {self.index}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"chunk size must be positive, got {self.size_bytes}")
+
+
+class BufferMap:
+    """The set of chunk indices a peer currently holds, within a sliding window.
+
+    A buffer map is what peers advertise to neighbours in mesh-pull
+    streaming.  The window limits memory: chunks older than
+    ``window_size`` positions behind the highest held index are evicted.
+    """
+
+    def __init__(self, window_size: int = 256) -> None:
+        if window_size < 1:
+            raise ValueError(f"window_size must be at least 1, got {window_size}")
+        self.window_size = int(window_size)
+        self._held: Set[int] = set()
+        self._highest = -1
+
+    # ------------------------------------------------------------------ mutation
+
+    def add(self, index: int) -> bool:
+        """Record possession of chunk ``index``; returns False if already held."""
+        index = int(index)
+        if index < 0:
+            raise ValueError("chunk index must be non-negative")
+        if index in self._held:
+            return False
+        self._held.add(index)
+        if index > self._highest:
+            self._highest = index
+        self._evict()
+        return True
+
+    def discard(self, index: int) -> None:
+        """Forget chunk ``index`` if held."""
+        self._held.discard(int(index))
+
+    def _evict(self) -> None:
+        floor = self._highest - self.window_size + 1
+        if floor <= 0:
+            return
+        stale = [index for index in self._held if index < floor]
+        for index in stale:
+            self._held.discard(index)
+
+    # ------------------------------------------------------------------ queries
+
+    def __contains__(self, index: int) -> bool:
+        return int(index) in self._held
+
+    def __len__(self) -> int:
+        return len(self._held)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._held))
+
+    @property
+    def highest_index(self) -> int:
+        """Highest chunk index ever held (-1 when empty)."""
+        return self._highest
+
+    def holdings(self) -> FrozenSet[int]:
+        """Frozen snapshot of held chunk indices."""
+        return frozenset(self._held)
+
+    def missing_in_range(self, start: int, stop: int) -> List[int]:
+        """Chunk indices in ``[start, stop)`` that are not held, ascending."""
+        return [index for index in range(max(0, int(start)), int(stop)) if index not in self._held]
+
+    def contiguous_from(self, start: int) -> int:
+        """Number of consecutively-held chunks starting at ``start``."""
+        count = 0
+        index = int(start)
+        while index in self._held:
+            count += 1
+            index += 1
+        return count
+
+
+class ChunkStore:
+    """Chunk payload storage for one peer: a buffer map plus chunk metadata."""
+
+    def __init__(self, window_size: int = 256) -> None:
+        self.buffer_map = BufferMap(window_size=window_size)
+        self._chunks: Dict[int, Chunk] = {}
+        self.received_count = 0
+        self.duplicate_count = 0
+
+    def insert(self, chunk: Chunk) -> bool:
+        """Store ``chunk``; returns False (and counts a duplicate) if already held."""
+        if chunk.index in self.buffer_map:
+            self.duplicate_count += 1
+            return False
+        self.buffer_map.add(chunk.index)
+        self._chunks[chunk.index] = chunk
+        self.received_count += 1
+        self._sync_payloads()
+        return True
+
+    def _sync_payloads(self) -> None:
+        held = self.buffer_map.holdings()
+        stale = [index for index in self._chunks if index not in held]
+        for index in stale:
+            del self._chunks[index]
+
+    def get(self, index: int) -> Optional[Chunk]:
+        """Return the stored chunk at ``index`` or None."""
+        return self._chunks.get(int(index))
+
+    def has(self, index: int) -> bool:
+        """Whether chunk ``index`` is currently held."""
+        return int(index) in self.buffer_map
+
+    def indices(self) -> List[int]:
+        """Sorted list of held chunk indices."""
+        return sorted(self.buffer_map.holdings())
+
+    def bulk_insert(self, chunks: Iterable[Chunk]) -> int:
+        """Insert many chunks; returns the number actually stored (non-duplicates)."""
+        stored = 0
+        for chunk in chunks:
+            if self.insert(chunk):
+                stored += 1
+        return stored
+
+    def __len__(self) -> int:
+        return len(self.buffer_map)

@@ -1,0 +1,127 @@
+"""Playback accounting: continuity, startup delay and missed chunks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.streaming.chunks import BufferMap
+
+__all__ = ["PlaybackStats", "PlaybackBuffer"]
+
+
+@dataclass
+class PlaybackStats:
+    """Aggregate playback-quality statistics for one peer."""
+
+    chunks_played: int = 0
+    chunks_missed: int = 0
+    startup_delay: Optional[float] = None
+    stall_events: int = 0
+
+    @property
+    def continuity(self) -> float:
+        """Fraction of due chunks that were actually held at their deadline.
+
+        Returns 1.0 before any chunk has come due (vacuous continuity).
+        """
+        total = self.chunks_played + self.chunks_missed
+        if total == 0:
+            return 1.0
+        return self.chunks_played / total
+
+
+@dataclass
+class PlaybackBuffer:
+    """Drives playback against a buffer map and records continuity.
+
+    The buffer starts playback once ``startup_chunks`` consecutive chunks
+    from the join point are available (or when forced), then consumes one
+    chunk per ``1 / playback_rate`` seconds.  A missing chunk at its deadline
+    counts as a miss (skipped, live-streaming semantics) rather than a stall,
+    matching the paper's live-streaming setting where late chunks are useless.
+
+    Attributes
+    ----------
+    playback_rate:
+        Chunks consumed per second once playback has started.
+    startup_chunks:
+        Number of contiguous chunks required before playback starts.
+    join_index:
+        First chunk index this viewer is interested in.
+    """
+
+    playback_rate: float = 1.0
+    startup_chunks: int = 10
+    join_index: int = 0
+    stats: PlaybackStats = field(default_factory=PlaybackStats)
+
+    def __post_init__(self) -> None:
+        if self.playback_rate <= 0:
+            raise ValueError("playback_rate must be positive")
+        if self.startup_chunks < 0:
+            raise ValueError("startup_chunks must be non-negative")
+        self._started = False
+        self._join_time: Optional[float] = None
+        self._next_index = int(self.join_index)
+        self._last_advance_time: Optional[float] = None
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def started(self) -> bool:
+        """Whether playback has started."""
+        return self._started
+
+    @property
+    def playback_point(self) -> int:
+        """Index of the next chunk due for playback."""
+        return self._next_index
+
+    # ------------------------------------------------------------------ driving
+
+    def note_join(self, time: float) -> None:
+        """Record the wall-clock join time (for startup-delay measurement)."""
+        if self._join_time is None:
+            self._join_time = float(time)
+
+    def maybe_start(self, buffer_map: BufferMap, time: float) -> bool:
+        """Start playback if enough contiguous chunks are buffered; return started state."""
+        if self._started:
+            return True
+        if self._join_time is None:
+            self._join_time = float(time)
+        if buffer_map.contiguous_from(self._next_index) >= self.startup_chunks:
+            self._started = True
+            self._last_advance_time = float(time)
+            self.stats.startup_delay = float(time) - self._join_time
+        return self._started
+
+    def advance(self, buffer_map: BufferMap, time: float) -> List[int]:
+        """Advance playback to ``time``, consuming every chunk that has come due.
+
+        Returns the list of chunk indices that were due but missing (misses).
+        """
+        if not self._started:
+            self.maybe_start(buffer_map, time)
+            return []
+        assert self._last_advance_time is not None
+        elapsed = float(time) - self._last_advance_time
+        if elapsed <= 0:
+            return []
+        due = int(elapsed * self.playback_rate)
+        if due <= 0:
+            return []
+        missed: List[int] = []
+        for _ in range(due):
+            index = self._next_index
+            if index in buffer_map:
+                self.stats.chunks_played += 1
+            else:
+                self.stats.chunks_missed += 1
+                missed.append(index)
+            self._next_index += 1
+        if missed:
+            self.stats.stall_events += 1
+        self._last_advance_time += due / self.playback_rate
+        return missed

@@ -1,0 +1,212 @@
+"""Chunk-request scheduling for mesh-pull streaming.
+
+A scheduler decides, given the requesting peer's buffer map and the
+advertised buffer maps of its neighbours, which missing chunks to request
+from which neighbour in the next scheduling round.  Two classic policies are
+provided:
+
+* :class:`RarestFirstScheduler` — prefer chunks held by the fewest
+  neighbours (maximises chunk diversity, BitTorrent-style);
+* :class:`PlaybackDrivenScheduler` — prefer chunks closest to the playback
+  deadline (latency-sensitive live streaming, UUSee-style).
+
+Both break ties among capable suppliers by price (cheapest first) and then
+randomly, which is where the credit market couples into chunk scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.streaming.chunks import BufferMap
+
+__all__ = [
+    "ChunkRequest",
+    "ChunkScheduler",
+    "RarestFirstScheduler",
+    "PlaybackDrivenScheduler",
+]
+
+
+@dataclass(frozen=True)
+class ChunkRequest:
+    """A scheduled request: fetch ``chunk_index`` from ``supplier_id`` at ``price``."""
+
+    chunk_index: int
+    supplier_id: int
+    price: float
+
+
+PriceLookup = Callable[[int, int], float]
+"""Callable mapping ``(supplier_id, chunk_index)`` to the supplier's asking price."""
+
+LoadLookup = Callable[[int], float]
+"""Callable mapping ``supplier_id`` to its current upload load (for load balancing)."""
+
+
+class ChunkScheduler:
+    """Base class for chunk-request schedulers.
+
+    Parameters
+    ----------
+    max_requests_per_round:
+        Cap on the number of requests returned by one call to
+        :meth:`schedule` (models per-round download concurrency).
+    rng:
+        Randomness source for tie-breaking; a fresh default generator is
+        used when omitted (deterministic runs should always pass one).
+    supplier_choice:
+        ``"availability"`` (default) picks a supplier uniformly at random
+        among the neighbours advertising the chunk — the paper's rule that
+        "credit transfer probabilities to neighbors are decided by their
+        data chunks availability".  ``"least-loaded"`` prefers the supplier
+        that has uploaded the least so far (requires a ``load_lookup`` at
+        scheduling time), modelling the upload-load balancing of deployed
+        mesh-pull systems.  ``"cheapest"`` price-shops and picks the
+        cheapest supplier (random tie-break).
+    """
+
+    SUPPLIER_CHOICES = ("availability", "least-loaded", "cheapest")
+
+    def __init__(
+        self,
+        max_requests_per_round: int = 4,
+        rng: Optional[np.random.Generator] = None,
+        supplier_choice: str = "availability",
+    ) -> None:
+        if max_requests_per_round < 1:
+            raise ValueError("max_requests_per_round must be at least 1")
+        if supplier_choice not in self.SUPPLIER_CHOICES:
+            raise ValueError(f"supplier_choice must be one of {self.SUPPLIER_CHOICES}")
+        self.max_requests_per_round = int(max_requests_per_round)
+        self.supplier_choice = supplier_choice
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------ API
+
+    def schedule(
+        self,
+        own_map: BufferMap,
+        neighbor_maps: Mapping[int, BufferMap],
+        want_range: Sequence[int],
+        price_lookup: Optional[PriceLookup] = None,
+        budget: Optional[float] = None,
+        load_lookup: Optional[LoadLookup] = None,
+    ) -> List[ChunkRequest]:
+        """Plan this round's chunk requests.
+
+        Parameters
+        ----------
+        own_map:
+            The requesting peer's buffer map.
+        neighbor_maps:
+            Advertised buffer maps keyed by neighbour id.
+        want_range:
+            Candidate chunk indices the peer would like (e.g. the window
+            between playback point and live edge), in ascending order.
+        price_lookup:
+            Optional ``(supplier, chunk) -> price``; defaults to a price of
+            zero (pure protocol behaviour without a market).
+        budget:
+            Optional credit budget; requests stop once the cumulative price
+            would exceed it (this is how an impoverished peer is throttled,
+            the central mechanism behind the paper's Fig. 1).
+        load_lookup:
+            Optional ``supplier -> current load``; required by the
+            ``"least-loaded"`` supplier-choice policy and ignored otherwise.
+
+        Returns
+        -------
+        list of ChunkRequest
+            At most ``max_requests_per_round`` requests, one per chunk, each
+            naming a supplier that advertises the chunk.
+        """
+        missing = [index for index in want_range if index not in own_map]
+        if not missing:
+            return []
+        suppliers_by_chunk = self._suppliers_by_chunk(missing, neighbor_maps)
+        candidates = [index for index in missing if suppliers_by_chunk.get(index)]
+        if not candidates:
+            return []
+        ordered = self._order_candidates(candidates, suppliers_by_chunk)
+
+        requests: List[ChunkRequest] = []
+        spent = 0.0
+        for chunk_index in ordered:
+            if len(requests) >= self.max_requests_per_round:
+                break
+            supplier, price = self._pick_supplier(
+                chunk_index, suppliers_by_chunk[chunk_index], price_lookup, load_lookup
+            )
+            if budget is not None and spent + price > budget + 1e-12:
+                continue
+            requests.append(ChunkRequest(chunk_index=chunk_index, supplier_id=supplier, price=price))
+            spent += price
+        return requests
+
+    # ------------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _suppliers_by_chunk(
+        missing: Sequence[int], neighbor_maps: Mapping[int, BufferMap]
+    ) -> Dict[int, List[int]]:
+        suppliers: Dict[int, List[int]] = {}
+        for neighbor_id, buffer_map in neighbor_maps.items():
+            for chunk_index in missing:
+                if chunk_index in buffer_map:
+                    suppliers.setdefault(chunk_index, []).append(neighbor_id)
+        return suppliers
+
+    def _pick_supplier(
+        self,
+        chunk_index: int,
+        suppliers: Sequence[int],
+        price_lookup: Optional[PriceLookup],
+        load_lookup: Optional[LoadLookup] = None,
+    ) -> tuple:
+        def price_of(supplier: int) -> float:
+            return 0.0 if price_lookup is None else float(price_lookup(supplier, chunk_index))
+
+        if self.supplier_choice == "least-loaded" and load_lookup is not None:
+            loads = {supplier: float(load_lookup(supplier)) for supplier in suppliers}
+            least = min(loads.values())
+            candidates = [s for s, load in loads.items() if load <= least + 1e-12]
+            chosen = candidates[int(self._rng.integers(len(candidates)))]
+            return chosen, price_of(chosen)
+        if self.supplier_choice == "cheapest" and price_lookup is not None:
+            prices = {supplier: price_of(supplier) for supplier in suppliers}
+            cheapest = min(prices.values())
+            candidates = [s for s, p in prices.items() if p <= cheapest + 1e-12]
+            chosen = candidates[int(self._rng.integers(len(candidates)))]
+            return chosen, prices[chosen]
+        chosen = suppliers[int(self._rng.integers(len(suppliers)))]
+        return chosen, price_of(chosen)
+
+    def _order_candidates(
+        self, candidates: Sequence[int], suppliers_by_chunk: Mapping[int, Sequence[int]]
+    ) -> List[int]:
+        """Order candidate chunks by policy preference; subclasses override."""
+        raise NotImplementedError
+
+
+class RarestFirstScheduler(ChunkScheduler):
+    """Request the chunks held by the fewest neighbours first."""
+
+    def _order_candidates(
+        self, candidates: Sequence[int], suppliers_by_chunk: Mapping[int, Sequence[int]]
+    ) -> List[int]:
+        shuffled = list(candidates)
+        self._rng.shuffle(shuffled)
+        return sorted(shuffled, key=lambda index: (len(suppliers_by_chunk[index]), index))
+
+
+class PlaybackDrivenScheduler(ChunkScheduler):
+    """Request the chunks closest to the playback deadline first (live streaming)."""
+
+    def _order_candidates(
+        self, candidates: Sequence[int], suppliers_by_chunk: Mapping[int, Sequence[int]]
+    ) -> List[int]:
+        return sorted(candidates)

@@ -1,0 +1,111 @@
+"""The streaming source: emits the live chunk stream at a fixed rate."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.simulation.process import PeriodicProcess
+from repro.streaming.chunks import Chunk, ChunkStore
+from repro.utils.validation import check_positive
+
+__all__ = ["StreamSource"]
+
+
+class StreamSource(PeriodicProcess):
+    """Emits one chunk every ``1 / chunk_rate`` seconds.
+
+    The source keeps its own :class:`~repro.streaming.chunks.ChunkStore` so
+    peers can always pull recent chunks from it (it plays the role of the
+    origin server / seed of the live channel), and notifies subscribers of
+    each newly emitted chunk so they can update availability indexes.
+
+    Parameters
+    ----------
+    chunk_rate:
+        Chunks emitted per second; the streaming rate ``r`` of Sec. V-C.
+    chunk_size_bytes:
+        Payload size recorded on each chunk.
+    window_size:
+        Buffer-map window retained by the source.
+    """
+
+    def __init__(
+        self,
+        chunk_rate: float = 1.0,
+        chunk_size_bytes: int = 64_000,
+        window_size: int = 512,
+        name: str = "source",
+    ) -> None:
+        check_positive(chunk_rate, "chunk_rate")
+        super().__init__(interval=1.0 / chunk_rate, name=name)
+        self.chunk_rate = float(chunk_rate)
+        self.chunk_size_bytes = int(chunk_size_bytes)
+        self.store = ChunkStore(window_size=window_size)
+        self._next_index = 0
+        self._subscribers: List[Callable[[Chunk], None]] = []
+
+    # ------------------------------------------------------------------ subscriptions
+
+    def subscribe(self, callback: Callable[[Chunk], None]) -> None:
+        """Register a callback invoked with every newly emitted chunk."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def chunks_emitted(self) -> int:
+        """Total number of chunks emitted so far."""
+        return self._next_index
+
+    @property
+    def latest_index(self) -> int:
+        """Index of the most recently emitted chunk (-1 before the first emission)."""
+        return self._next_index - 1
+
+    def playback_point(self, startup_delay_chunks: int = 10) -> int:
+        """The chunk index live viewers should currently be playing.
+
+        Viewers lag the live edge by ``startup_delay_chunks`` to absorb
+        delivery jitter; negative values (before enough chunks exist) clamp
+        to 0.
+        """
+        return max(0, self.latest_index - int(startup_delay_chunks))
+
+    def has_chunk(self, index: int) -> bool:
+        """Whether the source still holds chunk ``index`` in its window."""
+        return self.store.has(index)
+
+    def get_chunk(self, index: int) -> Optional[Chunk]:
+        """Return chunk ``index`` if the source still holds it."""
+        return self.store.get(index)
+
+    # ------------------------------------------------------------------ emission
+
+    def tick(self) -> None:
+        chunk = Chunk(
+            index=self._next_index,
+            size_bytes=self.chunk_size_bytes,
+            origin_time=self.now,
+        )
+        self._next_index += 1
+        self.store.insert(chunk)
+        for callback in self._subscribers:
+            callback(chunk)
+
+    def emit_backlog(self, count: int) -> List[Chunk]:
+        """Synchronously emit ``count`` chunks (used to pre-fill buffers at t=0)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        emitted = []
+        for _ in range(count):
+            chunk = Chunk(
+                index=self._next_index,
+                size_bytes=self.chunk_size_bytes,
+                origin_time=0.0,
+            )
+            self._next_index += 1
+            self.store.insert(chunk)
+            emitted.append(chunk)
+            for callback in self._subscribers:
+                callback(chunk)
+        return emitted

@@ -1,0 +1,47 @@
+"""Shared utilities: deterministic seeding, result records, summary statistics.
+
+The utilities in this package are intentionally dependency-light (numpy only)
+so every other subsystem can use them without layering problems.
+"""
+
+from repro.utils.rng import SeedSequenceFactory, derive_seed, make_rng
+from repro.utils.records import (
+    ResultRecord,
+    ResultTable,
+    SeriesRecord,
+    rows_to_csv,
+)
+from repro.utils.stats import (
+    RunningStat,
+    confidence_interval,
+    describe,
+    geometric_mean,
+    relative_error,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+    check_square_matrix,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_seed",
+    "make_rng",
+    "ResultRecord",
+    "ResultTable",
+    "SeriesRecord",
+    "rows_to_csv",
+    "RunningStat",
+    "confidence_interval",
+    "describe",
+    "geometric_mean",
+    "relative_error",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability_vector",
+    "check_square_matrix",
+]

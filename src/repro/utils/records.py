@@ -1,0 +1,181 @@
+"""Structured result records for experiments and benchmarks.
+
+Experiment runners return :class:`ResultTable` objects (rows of named
+values) and :class:`SeriesRecord` objects (time series).  Keeping results in
+plain, typed containers makes it easy for benchmarks to print the same rows
+the paper reports and for tests to make assertions about experiment output
+without parsing text.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ResultRecord", "ResultTable", "SeriesRecord", "rows_to_csv"]
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """A single named result row: a mapping of column name to value."""
+
+    values: Mapping[str, object]
+
+    def __getitem__(self, key: str) -> object:
+        return self.values[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.values
+
+    def get(self, key: str, default: object = None) -> object:
+        """Return ``values[key]`` or ``default`` when the column is absent."""
+        return self.values.get(key, default)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a plain mutable dict copy of the row."""
+        return dict(self.values)
+
+
+@dataclass
+class ResultTable:
+    """An ordered collection of result rows sharing (mostly) the same columns.
+
+    Parameters
+    ----------
+    title:
+        Human-readable label, e.g. ``"Fig. 3 — Gini index vs average wealth"``.
+    rows:
+        Row records.  Use :meth:`add_row` to append.
+    metadata:
+        Free-form experiment metadata (seed, horizon, population size...).
+    """
+
+    title: str
+    rows: List[ResultRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **values: object) -> ResultRecord:
+        """Append a row built from keyword arguments and return it."""
+        record = ResultRecord(dict(values))
+        self.rows.append(record)
+        return record
+
+    def column(self, name: str) -> List[object]:
+        """Return the values of column ``name`` across all rows (missing -> None)."""
+        return [row.get(name) for row in self.rows]
+
+    def columns(self) -> List[str]:
+        """Return the union of column names, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row.values:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def filter(self, **criteria: object) -> "ResultTable":
+        """Return a new table containing rows matching all ``column=value`` criteria."""
+        matched = [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+        return ResultTable(title=self.title, rows=list(matched), metadata=dict(self.metadata))
+
+    def to_csv(self) -> str:
+        """Render the table as CSV text (header + one line per row)."""
+        return rows_to_csv(self.rows, self.columns())
+
+    def format(self, float_precision: int = 4) -> str:
+        """Render the table as aligned plain text, suitable for benchmark output."""
+        columns = self.columns()
+        if not columns:
+            return f"{self.title}\n(empty)"
+
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.{float_precision}g}"
+            return str(value)
+
+        body = [[fmt(row.get(col, "")) for col in columns] for row in self.rows]
+        widths = [
+            max(len(col), *(len(line[idx]) for line in body)) if body else len(col)
+            for idx, col in enumerate(columns)
+        ]
+        header = "  ".join(col.ljust(widths[idx]) for idx, col in enumerate(columns))
+        lines = [self.title, header, "  ".join("-" * w for w in widths)]
+        for line in body:
+            lines.append("  ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(line)))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[ResultRecord]:
+        return iter(self.rows)
+
+
+@dataclass
+class SeriesRecord:
+    """A labelled time series (or any x/y series) produced by an experiment.
+
+    Attributes
+    ----------
+    label:
+        Legend label, e.g. ``"c=100"``.
+    x:
+        Sequence of x values (time in seconds, peer fraction, ...).
+    y:
+        Sequence of y values, same length as ``x``.
+    metadata:
+        Free-form extra information about the series.
+    """
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def append(self, x: float, y: float) -> None:
+        """Append one ``(x, y)`` point to the series."""
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def final_value(self) -> float:
+        """Return the last y value (raises ``IndexError`` if the series is empty)."""
+        return self.y[-1]
+
+    def tail_mean(self, fraction: float = 0.25) -> float:
+        """Mean of the last ``fraction`` of the series — a convergence estimate."""
+        if not self.y:
+            raise ValueError("cannot take the tail mean of an empty series")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        count = max(1, int(round(len(self.y) * fraction)))
+        tail = self.y[-count:]
+        return float(sum(tail) / len(tail))
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def points(self) -> List[Tuple[float, float]]:
+        """Return the series as a list of ``(x, y)`` tuples."""
+        return list(zip(self.x, self.y))
+
+
+def rows_to_csv(rows: Iterable[ResultRecord], columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise ``rows`` to CSV text, optionally restricting/ordering columns."""
+    rows = list(rows)
+    if columns is None:
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for key in row.values:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key, "") for key in columns})
+    return buffer.getvalue()

@@ -1,0 +1,24 @@
+"""Workload generators: demand profiles, wealth allocations and churn traces."""
+
+from repro.workloads.demand import (
+    elastic_chunk_rates,
+    streaming_chunk_rates,
+    zipf_demand_weights,
+)
+from repro.workloads.wealth import (
+    equal_initial_wealth,
+    exponential_initial_wealth,
+    pareto_initial_wealth,
+)
+from repro.workloads.churn_traces import ChurnTraceEvent, generate_churn_trace
+
+__all__ = [
+    "streaming_chunk_rates",
+    "elastic_chunk_rates",
+    "zipf_demand_weights",
+    "equal_initial_wealth",
+    "exponential_initial_wealth",
+    "pareto_initial_wealth",
+    "ChurnTraceEvent",
+    "generate_churn_trace",
+]

@@ -1,0 +1,81 @@
+"""Pre-generated churn traces.
+
+For experiments that must be replayed identically across simulators (e.g.
+comparing the market simulator against the streaming simulator under the
+same arrivals and departures), churn can be generated ahead of time as a
+trace of timestamped join/leave events rather than drawn online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.overlay.churn import ChurnConfig
+from repro.utils.rng import make_rng
+
+__all__ = ["ChurnTraceEvent", "generate_churn_trace"]
+
+
+@dataclass(frozen=True)
+class ChurnTraceEvent:
+    """One event of a churn trace."""
+
+    time: float
+    peer_id: int
+    action: str  # "join" or "leave"
+
+
+def generate_churn_trace(
+    config: ChurnConfig,
+    horizon: float,
+    initial_peers: int = 0,
+    first_new_peer_id: int = 0,
+    seed: Optional[int] = None,
+) -> List[ChurnTraceEvent]:
+    """Generate a time-sorted churn trace for the given configuration.
+
+    Parameters
+    ----------
+    config:
+        Arrival rate / mean lifespan parameters.
+    horizon:
+        Trace length in seconds.
+    initial_peers:
+        Number of peers present at time zero; when
+        ``config.churn_initial_peers`` is True they receive exponential
+        lifetimes and contribute leave events (their ids are
+        ``first_new_peer_id - initial_peers .. first_new_peer_id - 1``).
+    first_new_peer_id:
+        Id assigned to the first arriving peer; later arrivals count up.
+    seed:
+        RNG seed.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if initial_peers < 0:
+        raise ValueError("initial_peers must be non-negative")
+    rng = make_rng(seed, "churn-trace")
+    events: List[ChurnTraceEvent] = []
+
+    if config.churn_initial_peers:
+        for offset in range(initial_peers):
+            peer_id = first_new_peer_id - initial_peers + offset
+            lifetime = float(rng.exponential(config.mean_lifespan))
+            if lifetime < horizon:
+                events.append(ChurnTraceEvent(lifetime, peer_id, "leave"))
+
+    time = 0.0
+    next_id = first_new_peer_id
+    while True:
+        time += float(rng.exponential(1.0 / config.arrival_rate))
+        if time >= horizon:
+            break
+        events.append(ChurnTraceEvent(time, next_id, "join"))
+        departure = time + float(rng.exponential(config.mean_lifespan))
+        if departure < horizon:
+            events.append(ChurnTraceEvent(departure, next_id, "leave"))
+        next_id += 1
+
+    events.sort(key=lambda event: (event.time, event.action, event.peer_id))
+    return events

@@ -1,0 +1,87 @@
+"""Chunk-demand workload generators.
+
+Sec. V-C of the paper distinguishes two content-distribution regimes:
+
+* *streaming* — every peer downloads at exactly the stream rate ``r``, so
+  its aggregate purchase rate is fixed and split over its neighbours;
+* *elastic* (file sharing) — aggregate download rates differ across peers.
+
+These helpers build the ``chunk_rates`` mappings consumed by
+:class:`repro.core.market.CreditMarket`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.overlay.topology import OverlayTopology
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["streaming_chunk_rates", "elastic_chunk_rates", "zipf_demand_weights"]
+
+
+def streaming_chunk_rates(
+    topology: OverlayTopology, streaming_rate: float = 1.0
+) -> Dict[int, Dict[int, float]]:
+    """Streaming demand: every peer downloads ``streaming_rate`` chunks/s, split evenly.
+
+    This is the Sec. V-C case 1 workload under which utilization is
+    symmetric and no condensation occurs.
+    """
+    check_positive(streaming_rate, "streaming_rate")
+    rates: Dict[int, Dict[int, float]] = {}
+    for buyer in topology.peers():
+        neighbors = sorted(topology.neighbors(buyer))
+        if not neighbors:
+            rates[buyer] = {}
+            continue
+        share = streaming_rate / len(neighbors)
+        rates[buyer] = {seller: share for seller in neighbors}
+    return rates
+
+
+def elastic_chunk_rates(
+    topology: OverlayTopology,
+    mean_rate: float = 1.0,
+    dispersion: float = 0.5,
+    seed: Optional[int] = None,
+) -> Dict[int, Dict[int, float]]:
+    """Elastic (file-sharing) demand: per-peer aggregate download rates differ.
+
+    Aggregate download rates are drawn from a lognormal distribution with
+    the requested mean and coefficient of variation ``dispersion`` — the
+    Sec. V-C case 2 workload under which utilizations become heterogeneous.
+    """
+    check_positive(mean_rate, "mean_rate")
+    if dispersion < 0:
+        raise ValueError("dispersion must be non-negative")
+    rng = make_rng(seed, "elastic-demand")
+    rates: Dict[int, Dict[int, float]] = {}
+    sigma = float(np.sqrt(np.log(1.0 + dispersion**2)))
+    mu = float(np.log(mean_rate) - sigma**2 / 2.0)
+    for buyer in topology.peers():
+        neighbors = sorted(topology.neighbors(buyer))
+        if not neighbors:
+            rates[buyer] = {}
+            continue
+        aggregate = float(rng.lognormal(mu, sigma)) if dispersion > 0 else mean_rate
+        share = aggregate / len(neighbors)
+        rates[buyer] = {seller: share for seller in neighbors}
+    return rates
+
+
+def zipf_demand_weights(num_items: int, exponent: float = 1.0) -> np.ndarray:
+    """Zipf popularity weights over ``num_items`` content items (sums to 1).
+
+    Useful for elastic workloads where peers' demand concentrates on a few
+    popular files.
+    """
+    if num_items < 1:
+        raise ValueError("num_items must be at least 1")
+    check_positive(exponent, "exponent")
+    ranks = np.arange(1, num_items + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()

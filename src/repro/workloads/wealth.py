@@ -1,0 +1,57 @@
+"""Initial-wealth allocation strategies.
+
+The paper endows every peer with the same initial credit amount ``c``; the
+alternative allocators here support ablations on whether the *initial*
+shape of the wealth distribution matters for the long-run equilibrium (it
+does not, for a closed Jackson network — only the total does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["equal_initial_wealth", "exponential_initial_wealth", "pareto_initial_wealth"]
+
+
+def equal_initial_wealth(peer_ids: Sequence[int], average_wealth: float) -> Dict[int, float]:
+    """Every peer starts with exactly ``average_wealth`` credits (the paper's setting)."""
+    check_positive(average_wealth, "average_wealth")
+    return {int(peer): float(average_wealth) for peer in peer_ids}
+
+
+def exponential_initial_wealth(
+    peer_ids: Sequence[int], average_wealth: float, seed: Optional[int] = None
+) -> Dict[int, float]:
+    """Exponentially distributed initial wealth with the given mean (total rescaled exactly)."""
+    check_positive(average_wealth, "average_wealth")
+    peer_ids = [int(peer) for peer in peer_ids]
+    rng = make_rng(seed, "exp-wealth")
+    draws = rng.exponential(average_wealth, size=len(peer_ids))
+    draws *= average_wealth * len(peer_ids) / draws.sum()
+    return dict(zip(peer_ids, draws.tolist()))
+
+
+def pareto_initial_wealth(
+    peer_ids: Sequence[int],
+    average_wealth: float,
+    tail_index: float = 1.5,
+    seed: Optional[int] = None,
+) -> Dict[int, float]:
+    """Pareto-distributed initial wealth (heavy tail) with the given mean.
+
+    ``tail_index`` must exceed 1 for the mean to exist; smaller values give
+    heavier tails (more initial inequality).
+    """
+    check_positive(average_wealth, "average_wealth")
+    if tail_index <= 1.0:
+        raise ValueError("tail_index must exceed 1 for a finite mean")
+    peer_ids = [int(peer) for peer in peer_ids]
+    rng = make_rng(seed, "pareto-wealth")
+    draws = rng.pareto(tail_index, size=len(peer_ids)) + 1.0
+    draws *= average_wealth * len(peer_ids) / draws.sum()
+    return dict(zip(peer_ids, draws.tolist()))

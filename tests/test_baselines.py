@@ -1,0 +1,152 @@
+"""Tests for the related-work baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CreditNetwork,
+    ScripSystem,
+    TitForTatSwarm,
+    simulate_money_exchange,
+)
+from repro.overlay import complete_topology, ring_topology, scale_free_topology
+
+
+class TestScripSystem:
+    def test_basic_run_statistics(self):
+        system = ScripSystem(num_agents=50, average_scrip=5.0, seed=1)
+        result = system.run(num_requests=5000)
+        assert 0.0 < result.success_rate <= 1.0
+        assert result.success_rate + result.failure_no_money + result.failure_no_provider == pytest.approx(1.0)
+        assert result.final_holdings.sum() == pytest.approx(50 * 5.0)
+
+    def test_too_much_scrip_hurts(self):
+        # With holdings far above the satiation point nobody volunteers.
+        rich = ScripSystem(num_agents=50, average_scrip=50.0, satiation_point=10.0, seed=2)
+        moderate = ScripSystem(num_agents=50, average_scrip=5.0, satiation_point=10.0, seed=2)
+        assert rich.run(5000).success_rate < moderate.run(5000).success_rate
+
+    def test_too_little_scrip_hurts(self):
+        poor = ScripSystem(num_agents=50, average_scrip=0.5, satiation_point=10.0, seed=3)
+        moderate = ScripSystem(num_agents=50, average_scrip=5.0, satiation_point=10.0, seed=3)
+        assert poor.run(5000).failure_no_money > moderate.run(5000).failure_no_money
+
+    def test_sweep(self):
+        system = ScripSystem(num_agents=30, seed=4)
+        results = system.sweep_average_scrip([1.0, 5.0, 25.0], num_requests=2000)
+        assert len(results) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScripSystem(num_agents=1)
+        with pytest.raises(ValueError):
+            ScripSystem(provider_fraction=0.0)
+        with pytest.raises(ValueError):
+            ScripSystem().run(num_requests=0)
+
+
+class TestCreditNetwork:
+    def test_single_hop_payments(self):
+        network = CreditNetwork(ring_topology(6), credit_capacity=2.0, multi_hop=False, seed=1)
+        assert network.pay(0, 1)
+        assert network.residual(1, 0) == 1.0
+        assert network.residual(0, 1) == 3.0  # payee can now pay back more
+
+    def test_single_hop_fails_without_credit(self):
+        network = CreditNetwork(ring_topology(6), credit_capacity=1.0, multi_hop=False, seed=1)
+        assert network.pay(0, 1)
+        assert not network.pay(0, 1)  # credit line exhausted
+
+    def test_multi_hop_routing(self):
+        # 0 and 3 are not neighbours on the ring; payment must route through the path.
+        network = CreditNetwork(ring_topology(6), credit_capacity=2.0, multi_hop=True, seed=1)
+        assert network.pay(0, 3)
+
+    def test_non_unit_payments_rejected(self):
+        network = CreditNetwork(ring_topology(4), seed=1)
+        with pytest.raises(ValueError):
+            network.pay(0, 1, amount=2.0)
+
+    def test_liquidity_improves_with_capacity(self):
+        topo = scale_free_topology(40, mean_degree=6, seed=2)
+        low = CreditNetwork(topo, credit_capacity=1.0, seed=3).run(num_payments=3000)
+        high = CreditNetwork(topo.copy(), credit_capacity=5.0, seed=3).run(num_payments=3000)
+        assert high.success_rate >= low.success_rate
+
+    def test_liquidity_improves_with_density(self):
+        sparse = CreditNetwork(ring_topology(20), credit_capacity=2.0, seed=4).run(3000)
+        dense = CreditNetwork(complete_topology(20), credit_capacity=2.0, seed=4).run(3000)
+        assert dense.success_rate >= sparse.success_rate
+
+    def test_bankruptcy_probability_bounds(self):
+        result = CreditNetwork(ring_topology(10), credit_capacity=1.0, seed=5).run(2000)
+        assert 0.0 <= result.bankruptcy_probability <= 1.0
+
+    def test_purchasing_power_conserved(self):
+        # Each payment moves one unit of residual credit around; the total
+        # outgoing purchasing power over all nodes is conserved.
+        topo = ring_topology(8)
+        network = CreditNetwork(topo, credit_capacity=2.0, seed=6)
+        before = sum(network.purchasing_power(node) for node in topo.peers())
+        network.run(num_payments=500, sample_every=0)
+        after = sum(network.purchasing_power(node) for node in topo.peers())
+        assert after == pytest.approx(before)
+
+
+class TestTitForTat:
+    def test_swarm_distributes_content(self):
+        topo = scale_free_topology(40, mean_degree=8, seed=1)
+        swarm = TitForTatSwarm(topo, num_chunks=60, seed=2)
+        result = swarm.run(num_rounds=80)
+        assert result.completion_fraction.mean() > 0.5
+        assert result.download_rates.max() > 0
+
+    def test_free_riders_starved(self):
+        # Keep the content large relative to the horizon so downloads stay
+        # bandwidth-limited and reciprocity actually matters.
+        topo = scale_free_topology(40, mean_degree=8, seed=3)
+        swarm = TitForTatSwarm(topo, num_chunks=600, free_rider_fraction=0.25, seed=4)
+        result = swarm.run(num_rounds=60)
+        cooperator_rate = result.download_rates.mean()
+        assert result.free_rider_rate <= cooperator_rate
+
+    def test_validation(self):
+        topo = ring_topology(5)
+        with pytest.raises(ValueError):
+            TitForTatSwarm(topo, num_chunks=0)
+        with pytest.raises(ValueError):
+            TitForTatSwarm(topo, free_rider_fraction=1.0)
+        with pytest.raises(ValueError):
+            TitForTatSwarm(topo).run(num_rounds=0)
+
+
+class TestMoneyExchange:
+    def test_total_wealth_conserved(self):
+        result = simulate_money_exchange(num_agents=100, average_wealth=10.0,
+                                         num_exchanges=20_000, rule="uniform", seed=1)
+        assert result.final_wealths.sum() == pytest.approx(1000.0, rel=1e-9)
+
+    def test_uniform_rule_approaches_exponential_gini(self):
+        result = simulate_money_exchange(num_agents=300, num_exchanges=150_000,
+                                         rule="uniform", seed=2)
+        assert result.final_gini == pytest.approx(0.5, abs=0.06)
+
+    def test_savings_reduce_inequality(self):
+        base = simulate_money_exchange(num_agents=200, num_exchanges=80_000, rule="uniform", seed=3)
+        saving = simulate_money_exchange(num_agents=200, num_exchanges=80_000, rule="savings",
+                                         savings_fraction=0.8, seed=3)
+        assert saving.final_gini < base.final_gini
+
+    def test_fixed_rule_keeps_wealth_non_negative(self):
+        result = simulate_money_exchange(num_agents=100, average_wealth=2.0,
+                                         num_exchanges=50_000, rule="fixed", seed=4)
+        assert np.all(result.final_wealths >= -1e-9)
+
+    def test_proportional_rule_runs(self):
+        result = simulate_money_exchange(num_agents=100, num_exchanges=20_000,
+                                         rule="proportional", seed=5)
+        assert 0.0 < result.final_gini < 1.0
+
+    def test_invalid_rule(self):
+        with pytest.raises(ValueError):
+            simulate_money_exchange(rule="barter")

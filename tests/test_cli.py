@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.experiment == "fig4"
+        assert args.scale == "default"
+        assert args.seed == 0
+        assert args.csv is None
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("fig1", "fig4", "fig11"):
+            assert experiment_id in output
+
+    def test_run_analytic_experiment(self, capsys):
+        assert main(["run", "fig4", "--scale", "smoke", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 4" in output
+        assert "efficiency_eq9" in output
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99", "--scale", "smoke"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_writes_csv(self, tmp_path, capsys):
+        target = tmp_path / "fig4.csv"
+        assert main(["run", "fig4", "--scale", "smoke", "--csv", str(target)]) == 0
+        content = target.read_text()
+        assert "average_wealth_c" in content.splitlines()[0]
+        assert len(content.splitlines()) > 2

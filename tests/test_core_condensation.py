@@ -1,0 +1,148 @@
+"""Tests for the condensation analysis (threshold T, Theorems 2-3, Eq. 9)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.condensation import (
+    condensation_threshold,
+    condensation_threshold_from_density,
+    diagnose_condensation,
+    exact_exchange_efficiency,
+    exchange_efficiency,
+    grand_canonical_wealth,
+    is_symmetric_utilization,
+    solve_fugacity,
+)
+
+
+class TestSymmetryAndThreshold:
+    def test_symmetric_detection(self):
+        assert is_symmetric_utilization([1.0, 1.0, 1.0])
+        assert is_symmetric_utilization([2.0, 2.0])  # scale invariant
+        assert not is_symmetric_utilization([1.0, 0.5])
+
+    def test_corollary_symmetric_threshold_infinite(self):
+        assert condensation_threshold([1.0] * 10) == math.inf
+
+    def test_threshold_finite_for_heterogeneous(self):
+        threshold = condensation_threshold([1.0, 0.5, 0.5, 0.5])
+        # Background peers contribute u/(1-u) = 1 each; averaged over 4 peers.
+        assert threshold == pytest.approx(3.0 / 4.0)
+
+    def test_threshold_grows_as_background_approaches_max(self):
+        low = condensation_threshold([1.0] + [0.5] * 9)
+        high = condensation_threshold([1.0] + [0.95] * 9)
+        assert high > low
+
+    def test_threshold_scale_invariance(self):
+        a = condensation_threshold([2.0, 1.0, 1.0])
+        b = condensation_threshold([4.0, 2.0, 2.0])
+        assert a == pytest.approx(b)
+
+    def test_threshold_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            condensation_threshold([])
+        with pytest.raises(ValueError):
+            condensation_threshold([1.0, 0.0])
+
+
+class TestThresholdFromDensity:
+    def test_uniform_density_diverges(self):
+        # f(w) = 1 on [0, 1] has f(1) > 0, so the Eq. (4) integral diverges.
+        assert condensation_threshold_from_density(lambda w: 1.0) == math.inf
+
+    def test_vanishing_density_converges(self):
+        # f(w) = 2 (1 - w): integral of 2 w dw = 1.
+        value = condensation_threshold_from_density(lambda w: 2.0 * (1.0 - w))
+        assert value == pytest.approx(1.0, rel=1e-3)
+
+    def test_steeper_vanishing_density(self):
+        # f(w) = 3 (1 - w)^2: integral of 3 w (1 - w) dw = 1/2.
+        value = condensation_threshold_from_density(lambda w: 3.0 * (1.0 - w) ** 2)
+        assert value == pytest.approx(0.5, rel=1e-3)
+
+
+class TestFugacityAndGrandCanonical:
+    def test_fugacity_zero_for_empty_market(self):
+        assert solve_fugacity([1.0, 0.5], 0.0) == 0.0
+
+    def test_fugacity_increases_with_wealth(self):
+        utilizations = [1.0, 0.6, 0.4]
+        z_small = solve_fugacity(utilizations, 1.0)
+        z_large = solve_fugacity(utilizations, 100.0)
+        assert 0.0 < z_small < z_large <= 1.0
+
+    def test_grand_canonical_wealth_sums_to_total(self):
+        utilizations = [1.0, 0.8, 0.5, 0.3]
+        for total in (2.0, 20.0, 200.0):
+            wealth = grand_canonical_wealth(utilizations, total)
+            assert wealth.sum() == pytest.approx(total, rel=1e-6)
+
+    def test_condensate_absorbs_surplus(self):
+        utilizations = [1.0] + [0.5] * 9
+        wealth = grand_canonical_wealth(utilizations, 1000.0)
+        # Background capacity is ~1 credit each; the max-u peer takes the rest.
+        assert wealth[0] > 900.0
+        assert np.all(wealth[1:] < 5.0)
+
+    def test_grand_canonical_ordering_follows_utilization(self):
+        utilizations = [1.0, 0.9, 0.5, 0.1]
+        wealth = grand_canonical_wealth(utilizations, 50.0)
+        assert wealth[0] > wealth[1] > wealth[2] > wealth[3]
+
+
+class TestExchangeEfficiency:
+    def test_eq9_formula(self):
+        assert exchange_efficiency(0.0) == 0.0
+        assert exchange_efficiency(1.0) == pytest.approx(1.0 - math.exp(-1.0))
+        assert exchange_efficiency(10.0) > 0.9999
+
+    def test_exact_matches_eq9_for_large_n(self):
+        c = 3.0
+        exact = exact_exchange_efficiency(10_000, int(c * 10_000))
+        assert exact == pytest.approx(exchange_efficiency(c), abs=1e-3)
+
+    def test_monotone_in_wealth(self):
+        values = [exchange_efficiency(c) for c in (0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exchange_efficiency(-1.0)
+        with pytest.raises(ValueError):
+            exact_exchange_efficiency(0, 10)
+
+
+class TestDiagnosis:
+    def test_symmetric_never_condenses(self):
+        report = diagnose_condensation([1.0] * 20, average_wealth=1e6)
+        assert report.symmetric
+        assert not report.condenses
+        assert report.threshold == math.inf
+
+    def test_theorem3_condensation_above_threshold(self):
+        utilizations = [1.0] + [0.5] * 9
+        threshold = condensation_threshold(utilizations)
+        report = diagnose_condensation(utilizations, average_wealth=threshold * 10)
+        assert report.condenses
+        assert report.condensate_peers == (0,)
+        # In the condensation regime the fugacity saturates toward 1.
+        assert report.fugacity > 0.95
+
+    def test_theorem2_no_condensation_below_threshold(self):
+        utilizations = [1.0] + [0.5] * 9
+        threshold = condensation_threshold(utilizations)
+        report = diagnose_condensation(utilizations, average_wealth=threshold * 0.5)
+        assert not report.condenses
+        assert report.fugacity < 1.0
+        assert np.all(np.isfinite(report.expected_wealth))
+
+    def test_expected_wealth_accounts_for_total(self):
+        report = diagnose_condensation([1.0, 0.7, 0.2], average_wealth=10.0)
+        assert report.expected_wealth.sum() == pytest.approx(30.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diagnose_condensation([1.0, 0.5], average_wealth=-1.0)

@@ -1,0 +1,164 @@
+"""Tests for wallets and the conservation-checked credit ledger."""
+
+import pytest
+
+from repro.core import CreditLedger, InsufficientCreditsError, Wallet
+
+
+class TestWallet:
+    def test_initial_balance(self):
+        wallet = Wallet(1, 50.0)
+        assert wallet.balance == 50.0
+        assert wallet.peer_id == 1
+
+    def test_negative_initial_balance_rejected(self):
+        with pytest.raises(ValueError):
+            Wallet(1, -5.0)
+
+    def test_credit_and_debit(self):
+        wallet = Wallet(1, 10.0)
+        wallet.credit(5.0)
+        wallet.debit(12.0)
+        assert wallet.balance == pytest.approx(3.0)
+        assert wallet.total_earned == 5.0
+        assert wallet.total_spent == 12.0
+
+    def test_overdraft_rejected_and_state_unchanged(self):
+        wallet = Wallet(1, 1.0)
+        with pytest.raises(InsufficientCreditsError):
+            wallet.debit(2.0)
+        assert wallet.balance == 1.0
+        assert wallet.total_spent == 0.0
+
+    def test_negative_amounts_rejected(self):
+        wallet = Wallet(1, 1.0)
+        with pytest.raises(ValueError):
+            wallet.credit(-1.0)
+        with pytest.raises(ValueError):
+            wallet.debit(-1.0)
+
+    def test_can_afford(self):
+        wallet = Wallet(1, 3.0)
+        assert wallet.can_afford(3.0)
+        assert not wallet.can_afford(3.5)
+        assert not wallet.can_afford(-1.0)
+
+
+class TestLedgerWallets:
+    def test_open_and_query(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 10.0)
+        ledger.open_wallet(2, 20.0)
+        assert ledger.peer_ids() == [1, 2]
+        assert ledger.balances() == {1: 10.0, 2: 20.0}
+        assert ledger.balance_vector([2, 1]) == [20.0, 10.0]
+        assert ledger.has_wallet(1) and not ledger.has_wallet(3)
+
+    def test_duplicate_wallet_rejected(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 1.0)
+        with pytest.raises(ValueError):
+            ledger.open_wallet(1, 1.0)
+
+    def test_close_wallet_destroys_credits(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 30.0)
+        destroyed = ledger.close_wallet(1)
+        assert destroyed == 30.0
+        assert ledger.total_destroyed == 30.0
+        assert not ledger.has_wallet(1)
+        ledger.verify_conservation()
+
+
+class TestLedgerTransfers:
+    def test_transfer_moves_credits(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 10.0)
+        ledger.open_wallet(2, 0.0)
+        transaction = ledger.transfer(1, 2, 4.0, time=3.0, chunk_index=7)
+        assert ledger.wallet(1).balance == 6.0
+        assert ledger.wallet(2).balance == 4.0
+        assert transaction.chunk_index == 7
+        assert ledger.transactions[-1] is transaction
+
+    def test_transfer_insufficient_funds_is_atomic(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 1.0)
+        ledger.open_wallet(2, 0.0)
+        with pytest.raises(InsufficientCreditsError):
+            ledger.transfer(1, 2, 5.0)
+        assert ledger.wallet(1).balance == 1.0
+        assert ledger.wallet(2).balance == 0.0
+
+    def test_recording_can_be_disabled(self):
+        ledger = CreditLedger(record_transactions=False)
+        ledger.open_wallet(1, 5.0)
+        ledger.open_wallet(2, 5.0)
+        ledger.transfer(1, 2, 1.0)
+        assert ledger.transactions == []
+
+    def test_negative_transfer_rejected(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 5.0)
+        ledger.open_wallet(2, 5.0)
+        with pytest.raises(ValueError):
+            ledger.transfer(1, 2, -1.0)
+
+
+class TestSystemPoolAndInjection:
+    def test_tax_collection_and_rebate(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 10.0)
+        ledger.open_wallet(2, 0.0)
+        ledger.collect_to_pool(1, 4.0)
+        assert ledger.system_pool == 4.0
+        ledger.disburse_from_pool(2, 3.0)
+        assert ledger.system_pool == pytest.approx(1.0)
+        assert ledger.wallet(2).balance == 3.0
+        ledger.verify_conservation()
+
+    def test_disburse_more_than_pool_rejected(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 10.0)
+        ledger.collect_to_pool(1, 2.0)
+        with pytest.raises(ValueError):
+            ledger.disburse_from_pool(1, 5.0)
+
+    def test_injection_mints_credits(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 0.0)
+        ledger.inject(1, 7.0)
+        assert ledger.wallet(1).balance == 7.0
+        assert ledger.total_minted == 7.0
+        ledger.verify_conservation()
+
+    def test_negative_injection_rejected(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 0.0)
+        with pytest.raises(ValueError):
+            ledger.inject(1, -3.0)
+
+
+class TestConservation:
+    def test_conservation_after_many_operations(self):
+        ledger = CreditLedger(record_transactions=False)
+        for peer in range(10):
+            ledger.open_wallet(peer, 100.0)
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            buyer, seller = rng.choice(10, size=2, replace=False)
+            amount = float(rng.random() * 3.0)
+            if ledger.wallet(int(buyer)).can_afford(amount):
+                ledger.transfer(int(buyer), int(seller), amount)
+        ledger.close_wallet(3)
+        ledger.inject(5, 42.0)
+        assert ledger.conservation_error() < 1e-6
+        ledger.verify_conservation()
+
+    def test_total_in_circulation_includes_pool(self):
+        ledger = CreditLedger()
+        ledger.open_wallet(1, 10.0)
+        ledger.collect_to_pool(1, 4.0)
+        assert ledger.total_in_circulation() == pytest.approx(10.0)

@@ -1,0 +1,153 @@
+"""Tests for the credit market and its Table I mapping onto a queueing network."""
+
+import numpy as np
+import pytest
+
+from repro.core import CreditMarket, PerPeerFlatPricing, UniformPricing
+from repro.overlay import OverlayTopology, ring_topology, scale_free_topology
+from repro.queueing import ClosedJacksonNetwork
+from repro.workloads import elastic_chunk_rates, streaming_chunk_rates
+
+
+class TestConstruction:
+    def test_requires_two_peers(self):
+        with pytest.raises(ValueError):
+            CreditMarket(OverlayTopology([0]), initial_credits=10.0)
+
+    def test_default_market_properties(self):
+        topology = ring_topology(6)
+        market = CreditMarket(topology, initial_credits=25.0)
+        assert market.num_peers == 6
+        assert market.total_credits == pytest.approx(150.0)
+        assert market.average_wealth == pytest.approx(25.0)
+        np.testing.assert_allclose(market.wealth_vector(), 25.0)
+
+    def test_explicit_spending_rates(self):
+        topology = ring_topology(4)
+        market = CreditMarket(
+            topology, initial_credits=10.0, spending_rates={0: 1.0, 1: 2.0, 2: 1.0, 3: 2.0}
+        )
+        np.testing.assert_allclose(market.spending_rates, [1.0, 2.0, 1.0, 2.0])
+
+    def test_missing_spending_rate_rejected(self):
+        topology = ring_topology(4)
+        with pytest.raises(ValueError):
+            CreditMarket(topology, initial_credits=10.0, spending_rates={0: 1.0})
+
+    def test_chunk_rates_must_follow_topology(self):
+        topology = ring_topology(4)
+        with pytest.raises(ValueError):
+            CreditMarket(topology, initial_credits=10.0, chunk_rates={0: {2: 1.0}})
+        with pytest.raises(KeyError):
+            CreditMarket(topology, initial_credits=10.0, chunk_rates={0: {9: 1.0}})
+
+    def test_reserve_fraction_on_routing_diagonal(self):
+        topology = ring_topology(5)
+        market = CreditMarket(topology, initial_credits=10.0, reserve_fraction=0.25)
+        np.testing.assert_allclose(market.routing_matrix.self_loop_fractions(), 0.25)
+
+
+class TestSectionVC:
+    """Sec. V-C: mu_i = sum_j r_ji s_j and p_ij proportional to r_ji s_j."""
+
+    def test_uniform_pricing_streaming_rates(self):
+        topology = ring_topology(6)
+        market = CreditMarket(
+            topology,
+            initial_credits=10.0,
+            pricing=UniformPricing(2.0),
+            chunk_rates=streaming_chunk_rates(topology, streaming_rate=1.0),
+        )
+        # mu_i = s * r = 2.0 for every peer.
+        np.testing.assert_allclose(market.spending_rates, 2.0)
+        equilibrium = market.equilibrium()
+        # Streaming + uniform pricing => symmetric utilization (Sec. V-C case 1).
+        np.testing.assert_allclose(equilibrium.utilizations, 1.0, atol=1e-8)
+        assert not equilibrium.condensation.condenses
+
+    def test_heterogeneous_prices_shape_rates_and_routing(self):
+        # Peer 0 buys from peers 1 (price 3) and 2 (price 1), half its stream each.
+        topology = OverlayTopology.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        pricing = PerPeerFlatPricing({0: 1.0, 1: 3.0, 2: 1.0})
+        market = CreditMarket(
+            topology,
+            initial_credits=10.0,
+            pricing=pricing,
+            chunk_rates=streaming_chunk_rates(topology),
+        )
+        # mu_0 = 0.5 * 3 + 0.5 * 1 = 2 (Sec. V-C).
+        assert market.spending_rates[0] == pytest.approx(2.0)
+        routing = market.routing_matrix
+        # Credits flow toward the expensive seller in proportion to r * s.
+        assert routing.probability(0, 1) == pytest.approx(0.75)
+        assert routing.probability(0, 2) == pytest.approx(0.25)
+
+    def test_elastic_demand_creates_asymmetric_utilization(self):
+        topology = scale_free_topology(80, mean_degree=8, seed=3)
+        market = CreditMarket(
+            topology,
+            initial_credits=50.0,
+            chunk_rates=elastic_chunk_rates(topology, dispersion=1.0, seed=4),
+        )
+        utilizations = market.equilibrium().utilizations
+        assert utilizations.std() > 0.01
+
+
+class TestEquilibrium:
+    def test_lambda_bounded_by_mu(self):
+        topology = scale_free_topology(60, mean_degree=8, seed=5)
+        market = CreditMarket(topology, initial_credits=20.0)
+        equilibrium = market.equilibrium()
+        assert np.all(equilibrium.arrival_rates <= equilibrium.service_rates + 1e-9)
+        assert equilibrium.traffic_residual < 1e-6
+
+    def test_equilibrium_cached_unless_recomputed(self):
+        market = CreditMarket(ring_topology(5), initial_credits=10.0)
+        first = market.equilibrium()
+        assert market.equilibrium() is first
+        assert market.equilibrium(recompute=True) is not first
+
+
+class TestTableOneMapping:
+    def test_to_queueing_network_dimensions(self):
+        topology = ring_topology(8)
+        market = CreditMarket(topology, initial_credits=5.0)
+        network = market.to_queueing_network()
+        assert isinstance(network, ClosedJacksonNetwork)
+        assert network.num_queues == 8
+        assert network.total_jobs == 40
+        assert network.average_wealth == pytest.approx(5.0)
+
+    def test_explicit_total_credits(self):
+        market = CreditMarket(ring_topology(4), initial_credits=5.0)
+        network = market.to_queueing_network(total_credits=100)
+        assert network.total_jobs == 100
+
+    def test_mapping_dictionary_is_consistent(self):
+        topology = ring_topology(6)
+        market = CreditMarket(topology, initial_credits=12.0)
+        mapping = market.table_one_mapping()
+        assert mapping["num_peers_N"] == mapping["num_queues_N"] == 6
+        assert mapping["total_credits_M"] == pytest.approx(72.0)
+        assert mapping["total_jobs_M"] == 72
+        assert mapping["routing_probabilities_p_ij"].shape == (6, 6)
+        np.testing.assert_allclose(mapping["credit_pools_B_i"], 12.0)
+        np.testing.assert_allclose(
+            mapping["routing_probabilities_p_ij"].sum(axis=1), 1.0
+        )
+
+    def test_expected_wealth_conserves_credits(self):
+        topology = scale_free_topology(30, mean_degree=6, seed=7)
+        market = CreditMarket(topology, initial_credits=4.0)
+        network = market.to_queueing_network()
+        assert network.mean_queue_lengths().sum() == pytest.approx(120.0, rel=1e-6)
+
+    def test_predicted_statistics(self):
+        topology = ring_topology(10)
+        market = CreditMarket(topology, initial_credits=3.0)
+        gini = market.predicted_gini()
+        bankrupt = market.predicted_bankruptcy_fraction()
+        assert 0.0 <= gini < 1.0
+        assert 0.0 < bankrupt < 1.0
+        # Symmetric ring: expected wealths equal, so the expected-wealth Gini is ~0.
+        assert gini == pytest.approx(0.0, abs=1e-6)

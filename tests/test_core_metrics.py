@@ -1,0 +1,153 @@
+"""Tests for inequality metrics (Gini, Lorenz and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    atkinson_index,
+    bankruptcy_fraction,
+    gini_from_lorenz,
+    gini_from_pmf,
+    gini_index,
+    hoover_index,
+    lorenz_curve,
+    lorenz_curve_from_pmf,
+    theil_index,
+    top_share,
+    wealth_summary,
+)
+
+
+class TestGiniIndex:
+    def test_perfect_equality_is_zero(self):
+        assert gini_index([5.0] * 10) == pytest.approx(0.0)
+
+    def test_extreme_inequality_approaches_one(self):
+        wealths = [0.0] * 99 + [100.0]
+        assert gini_index(wealths) == pytest.approx(0.99, abs=1e-9)
+
+    def test_known_small_example(self):
+        # For [0, 1]: G = 1/2 exactly.
+        assert gini_index([0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_scale_invariance(self):
+        wealths = np.random.default_rng(0).random(50)
+        assert gini_index(wealths) == pytest.approx(gini_index(wealths * 42.0))
+
+    def test_all_zero_wealth_is_zero(self):
+        assert gini_index([0.0, 0.0, 0.0]) == 0.0
+
+    def test_exponential_sample_near_half(self):
+        samples = np.random.default_rng(1).exponential(10.0, size=20000)
+        assert gini_index(samples) == pytest.approx(0.5, abs=0.02)
+
+    def test_rejects_negative_and_empty(self):
+        with pytest.raises(ValueError):
+            gini_index([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            gini_index([])
+        with pytest.raises(ValueError):
+            gini_index([np.nan, 1.0])
+
+    def test_matches_lorenz_integral(self):
+        wealths = np.random.default_rng(2).pareto(2.0, size=500) + 0.1
+        population, cumulative = lorenz_curve(wealths)
+        assert gini_index(wealths) == pytest.approx(
+            gini_from_lorenz(population, cumulative), abs=0.01
+        )
+
+
+class TestLorenzCurve:
+    def test_endpoints(self):
+        population, cumulative = lorenz_curve([1.0, 2.0, 3.0])
+        assert population[0] == 0.0 and population[-1] == 1.0
+        assert cumulative[0] == 0.0 and cumulative[-1] == pytest.approx(1.0)
+
+    def test_curve_below_equality_line(self):
+        population, cumulative = lorenz_curve([1.0, 5.0, 10.0])
+        assert np.all(cumulative <= population + 1e-12)
+
+    def test_monotone_nondecreasing(self):
+        population, cumulative = lorenz_curve(np.random.default_rng(3).random(30))
+        assert np.all(np.diff(cumulative) >= -1e-12)
+
+    def test_zero_total_returns_diagonal(self):
+        population, cumulative = lorenz_curve([0.0, 0.0])
+        np.testing.assert_allclose(population, cumulative)
+
+
+class TestDistributionMetrics:
+    def test_gini_from_pmf_degenerate_is_zero(self):
+        pmf = np.zeros(11)
+        pmf[5] = 1.0
+        assert gini_from_pmf(pmf) == pytest.approx(0.0)
+
+    def test_gini_from_pmf_geometric_near_half(self):
+        rho = 0.99
+        support = np.arange(2000)
+        pmf = (1 - rho) * rho**support
+        assert gini_from_pmf(pmf) == pytest.approx(0.5, abs=0.02)
+
+    def test_gini_from_pmf_matches_sample_gini(self):
+        rng = np.random.default_rng(4)
+        pmf = np.array([0.5, 0.2, 0.2, 0.05, 0.05])
+        samples = rng.choice(5, size=200_000, p=pmf).astype(float)
+        assert gini_from_pmf(pmf) == pytest.approx(gini_index(samples), abs=0.01)
+
+    def test_gini_from_pmf_custom_support(self):
+        assert gini_from_pmf([0.5, 0.5], support=[0.0, 2.0]) == pytest.approx(0.5)
+
+    def test_lorenz_from_pmf_endpoints(self):
+        population, wealth = lorenz_curve_from_pmf([0.25, 0.25, 0.25, 0.25])
+        assert population[0] == 0.0 and population[-1] == pytest.approx(1.0)
+        assert wealth[-1] == pytest.approx(1.0)
+
+    def test_pmf_validation(self):
+        with pytest.raises(ValueError):
+            gini_from_pmf([0.0, 0.0])
+        with pytest.raises(ValueError):
+            gini_from_pmf([0.5, 0.5], support=[1.0])
+        with pytest.raises(ValueError):
+            gini_from_pmf([0.5, 0.5], support=[-1.0, 1.0])
+
+
+class TestOtherIndices:
+    def test_theil_zero_for_equality(self):
+        assert theil_index([3.0, 3.0, 3.0]) == pytest.approx(0.0)
+
+    def test_theil_positive_for_inequality(self):
+        assert theil_index([1.0, 10.0]) > 0.0
+
+    def test_hoover_known_value(self):
+        # [0, 2]: half the wealth must move to equalise.
+        assert hoover_index([0.0, 2.0]) == pytest.approx(0.5)
+
+    def test_atkinson_bounds(self):
+        wealths = [1.0, 2.0, 3.0, 10.0]
+        value = atkinson_index(wealths, epsilon=0.5)
+        assert 0.0 < value < 1.0
+        assert atkinson_index([2.0, 2.0], epsilon=0.5) == pytest.approx(0.0)
+
+    def test_atkinson_epsilon_one_with_zero_wealth(self):
+        assert atkinson_index([0.0, 1.0], epsilon=1.0) == 1.0
+
+    def test_atkinson_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            atkinson_index([1.0], epsilon=0.0)
+
+    def test_bankruptcy_fraction(self):
+        assert bankruptcy_fraction([0.0, 0.0, 1.0, 2.0]) == pytest.approx(0.5)
+        assert bankruptcy_fraction([1.0, 2.0], threshold=1.5) == pytest.approx(0.5)
+
+    def test_top_share(self):
+        wealths = [1.0] * 9 + [91.0]
+        assert top_share(wealths, 0.1) == pytest.approx(0.91)
+        with pytest.raises(ValueError):
+            top_share(wealths, 0.0)
+
+    def test_wealth_summary_keys_and_consistency(self):
+        summary = wealth_summary([0.0, 1.0, 2.0, 3.0])
+        assert summary["num_peers"] == 4
+        assert summary["total"] == pytest.approx(6.0)
+        assert summary["gini"] == pytest.approx(gini_index([0.0, 1.0, 2.0, 3.0]))
+        assert summary["bankrupt_fraction"] == pytest.approx(0.25)

@@ -1,0 +1,115 @@
+"""Tests for taxation policies and spending-rate policies."""
+
+import pytest
+
+from repro.core import CreditLedger, DynamicSpendingPolicy, FixedSpendingPolicy, NoTax, ThresholdIncomeTax
+from repro.core.taxation import ProportionalRedistributionTax
+
+
+def ledger_with(balances):
+    ledger = CreditLedger()
+    for peer, balance in balances.items():
+        ledger.open_wallet(peer, balance)
+    return ledger
+
+
+class TestNoTax:
+    def test_collects_nothing(self):
+        ledger = ledger_with({1: 100.0, 2: 5.0})
+        policy = NoTax()
+        assert policy.on_income(ledger, 1, 10.0, 0.0, [1, 2]) == 0.0
+        assert ledger.wallet(1).balance == 100.0
+        assert policy.describe() == "no taxation"
+
+
+class TestThresholdIncomeTax:
+    def test_taxes_only_above_threshold(self):
+        ledger = ledger_with({1: 100.0, 2: 10.0})
+        policy = ThresholdIncomeTax(rate=0.2, threshold=50.0)
+        collected_rich = policy.on_income(ledger, 1, 10.0, 0.0, [1, 2])
+        collected_poor = policy.on_income(ledger, 2, 10.0, 0.0, [1, 2])
+        assert collected_rich == pytest.approx(2.0)
+        assert collected_poor == 0.0
+        # The 2 collected credits immediately fund one rebate round of 1
+        # credit to each of the 2 peers, so the rich peer nets 100 - 2 + 1.
+        assert policy.rebate_rounds == 1
+        assert ledger.wallet(1).balance == pytest.approx(99.0)
+        assert ledger.wallet(2).balance == pytest.approx(11.0)
+
+    def test_rebate_triggered_when_pool_full(self):
+        ledger = ledger_with({1: 1000.0, 2: 0.0})
+        policy = ThresholdIncomeTax(rate=0.5, threshold=10.0, rebate_unit=1.0)
+        # Collect 5 credits: with 2 peers, two full rebate rounds of 1 credit each.
+        policy.on_income(ledger, 1, 10.0, 0.0, [1, 2])
+        assert policy.total_collected == pytest.approx(5.0)
+        assert policy.rebate_rounds == 2
+        assert ledger.wallet(2).balance == pytest.approx(2.0)
+        assert ledger.system_pool == pytest.approx(1.0)
+        ledger.verify_conservation()
+
+    def test_zero_income_not_taxed(self):
+        ledger = ledger_with({1: 100.0})
+        policy = ThresholdIncomeTax(rate=0.1, threshold=10.0)
+        assert policy.on_income(ledger, 1, 0.0, 0.0, [1]) == 0.0
+
+    def test_describe_mentions_parameters(self):
+        text = ThresholdIncomeTax(rate=0.1, threshold=80).describe()
+        assert "0.1" in text and "80" in text
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ThresholdIncomeTax(rate=1.5, threshold=10.0)
+        with pytest.raises(ValueError):
+            ThresholdIncomeTax(rate=0.1, threshold=-1.0)
+
+
+class TestProportionalRedistributionTax:
+    def test_redistributes_to_poor_immediately(self):
+        ledger = ledger_with({1: 200.0, 2: 10.0, 3: 5.0})
+        policy = ProportionalRedistributionTax(rate=0.5, threshold=50.0)
+        collected = policy.on_income(ledger, 1, 20.0, 0.0, [1, 2, 3])
+        assert collected == pytest.approx(10.0)
+        # The poorer peer (3) gets the larger share of the redistribution.
+        assert ledger.wallet(3).balance > ledger.wallet(2).balance - 5.0
+        assert ledger.wallet(2).balance + ledger.wallet(3).balance == pytest.approx(25.0)
+        assert ledger.system_pool == pytest.approx(0.0)
+        ledger.verify_conservation()
+
+    def test_no_poor_peers_means_no_tax(self):
+        ledger = ledger_with({1: 200.0, 2: 150.0})
+        policy = ProportionalRedistributionTax(rate=0.5, threshold=50.0)
+        assert policy.on_income(ledger, 1, 20.0, 0.0, [1, 2]) == 0.0
+
+
+class TestSpendingPolicies:
+    def test_fixed_policy_ignores_wealth(self):
+        policy = FixedSpendingPolicy()
+        assert policy.effective_rate(2.0, 1000.0) == 2.0
+        assert policy.effective_rate(2.0, 0.0) == 2.0
+
+    def test_dynamic_policy_below_threshold_is_base(self):
+        policy = DynamicSpendingPolicy(wealth_threshold=100.0)
+        assert policy.effective_rate(1.0, 50.0) == 1.0
+        assert policy.effective_rate(1.0, 100.0) == 1.0
+
+    def test_dynamic_policy_scales_above_threshold(self):
+        policy = DynamicSpendingPolicy(wealth_threshold=100.0)
+        assert policy.effective_rate(1.0, 250.0) == pytest.approx(2.5)
+
+    def test_dynamic_policy_cap(self):
+        policy = DynamicSpendingPolicy(wealth_threshold=100.0, max_multiplier=2.0)
+        assert policy.effective_rate(1.0, 1000.0) == pytest.approx(2.0)
+
+    def test_dynamic_policy_negative_wealth_clamped(self):
+        policy = DynamicSpendingPolicy(wealth_threshold=10.0)
+        assert policy.effective_rate(1.0, -5.0) == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DynamicSpendingPolicy(wealth_threshold=0.0)
+        with pytest.raises(ValueError):
+            DynamicSpendingPolicy(wealth_threshold=10.0, max_multiplier=0.5)
+
+    def test_describe(self):
+        assert "fixed" in FixedSpendingPolicy().describe()
+        assert "m=100" in DynamicSpendingPolicy(100.0).describe()

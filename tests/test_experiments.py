@@ -1,0 +1,110 @@
+"""Smoke tests for the experiment registry and every figure runner.
+
+These run each experiment at the ``smoke`` scale, which keeps the entire
+file to a few tens of seconds while still executing the full code path of
+every figure reproduction.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    describe_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        expected = {"fig1", "fig2", "fig3", "fig4", "fig5_6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_describe_experiments(self):
+        descriptions = describe_experiments()
+        assert len(descriptions) == len(EXPERIMENTS)
+        assert all({"id", "section", "title"} <= set(entry) for entry in descriptions)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+
+class TestExperimentResultHelpers:
+    def test_table_and_series_lookup(self):
+        result = run_experiment("fig4", scale="smoke", seed=1)
+        assert isinstance(result, ExperimentResult)
+        assert result.table() is result.tables[0]
+        series = result.series_by_label(result.series[0].label)
+        assert series is result.series[0]
+        with pytest.raises(KeyError):
+            result.series_by_label("not a label")
+        with pytest.raises(KeyError):
+            result.table("missing fragment")
+        assert "Fig. 4" in result.format()
+
+
+class TestAnalyticExperiments:
+    def test_fig2_gini_values_valid(self):
+        result = run_experiment("fig2", scale="smoke", seed=1)
+        for row in result.table():
+            assert 0.0 < row["gini_exact"] < 1.0
+            assert 0.0 < row["gini_eq8"] < 1.0
+
+    def test_fig3_gini_increases_with_wealth(self):
+        result = run_experiment("fig3", scale="smoke", seed=1)
+        for series in result.series:
+            assert series.y[-1] >= series.y[0] - 0.05
+
+    def test_fig4_efficiency_monotone(self):
+        result = run_experiment("fig4", scale="smoke", seed=1)
+        values = result.series_by_label("1 - e^{-c} (Eq. 9)").y
+        assert values == sorted(values)
+
+
+class TestSimulationExperiments:
+    def test_fig1_condensed_case_more_skewed(self):
+        result = run_experiment("fig1", scale="smoke", seed=2)
+        rows = {row["case"]: row for row in result.table()}
+        condensed = rows["condensed (non-uniform prices)"]
+        healthy = rows["healthy (uniform prices)"]
+        assert condensed["wealth_gini"] > healthy["wealth_gini"] - 0.1
+
+    def test_fig5_6_produces_snapshots(self):
+        result = run_experiment("fig5_6", scale="smoke", seed=2)
+        assert len(result.series) >= 4
+        assert len(result.table()) == 2
+
+    def test_fig7_and_fig8_converge(self):
+        for experiment_id in ("fig7", "fig8"):
+            result = run_experiment(experiment_id, scale="smoke", seed=2)
+            assert len(result.series) == 2
+            for row in result.table():
+                assert 0.0 <= row["stabilized_gini"] <= 1.0
+
+    def test_fig9_taxation_reduces_gini(self):
+        result = run_experiment("fig9", scale="smoke", seed=2)
+        rows = {row["taxation"]: row for row in result.table()}
+        baseline = rows["no taxation"]["stabilized_gini"]
+        taxed = [row["stabilized_gini"] for label, row in rows.items() if label != "no taxation"]
+        assert all(value <= baseline + 0.05 for value in taxed)
+
+    def test_fig10_dynamic_spending_reduces_gini(self):
+        result = run_experiment("fig10", scale="smoke", seed=2)
+        rows = {row["spending_policy"]: row for row in result.table()}
+        assert (
+            rows["with adjustment"]["stabilized_gini"]
+            <= rows["without adjustment"]["stabilized_gini"] + 0.05
+        )
+
+    def test_fig11_churn_reduces_gini(self):
+        result = run_experiment("fig11", scale="smoke", seed=2)
+        table1 = result.table("Fig. 11(1)")
+        rows = {row["setting"]: row for row in table1}
+        static = rows["static topology"]["stabilized_gini"]
+        dynamic = [
+            row["stabilized_gini"] for label, row in rows.items() if label != "static topology"
+        ]
+        assert all(value <= static + 0.05 for value in dynamic)
+        assert len(result.tables) == 3

@@ -1,0 +1,100 @@
+"""Tests for overlay topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.overlay import (
+    barabasi_albert_topology,
+    complete_topology,
+    erdos_renyi_topology,
+    random_regular_topology,
+    ring_topology,
+    scale_free_topology,
+)
+from repro.overlay.generators import powerlaw_degree_sequence
+
+
+class TestPowerlawDegreeSequence:
+    def test_mean_degree_close_to_target(self):
+        degrees = powerlaw_degree_sequence(500, shape=2.5, mean_degree=20.0, seed=1)
+        assert abs(degrees.mean() - 20.0) < 4.0
+
+    def test_even_total_degree(self):
+        degrees = powerlaw_degree_sequence(101, seed=2)
+        assert degrees.sum() % 2 == 0
+
+    def test_min_degree_respected(self):
+        degrees = powerlaw_degree_sequence(300, mean_degree=10.0, min_degree=3, seed=3)
+        assert degrees.min() >= 3
+
+    def test_heavy_tail_present(self):
+        degrees = powerlaw_degree_sequence(1000, shape=2.5, mean_degree=20.0, seed=4)
+        assert degrees.max() > 3 * degrees.mean()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(1)
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(100, mean_degree=200.0)
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(100, min_degree=0)
+
+
+class TestScaleFree:
+    def test_paper_parameters(self):
+        topo = scale_free_topology(300, seed=5)
+        assert topo.num_peers == 300
+        assert topo.is_connected()
+        assert 10.0 < topo.mean_degree() < 30.0
+
+    def test_reproducible_with_seed(self):
+        a = scale_free_topology(100, seed=6)
+        b = scale_free_topology(100, seed=6)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = scale_free_topology(100, seed=6)
+        b = scale_free_topology(100, seed=7)
+        assert list(a.edges()) != list(b.edges())
+
+    def test_degree_distribution_is_skewed(self):
+        topo = scale_free_topology(400, seed=8)
+        degrees = np.array(list(topo.degrees().values()))
+        assert degrees.max() > 2.5 * degrees.mean()
+
+
+class TestOtherGenerators:
+    def test_barabasi_albert(self):
+        topo = barabasi_albert_topology(100, attachments=5, seed=1)
+        assert topo.num_peers == 100
+        assert topo.is_connected()
+
+    def test_barabasi_albert_invalid(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_topology(5, attachments=10)
+
+    def test_erdos_renyi_connected_and_sized(self):
+        topo = erdos_renyi_topology(200, mean_degree=8.0, seed=2)
+        assert topo.num_peers == 200
+        assert topo.is_connected()
+        assert 4.0 < topo.mean_degree() < 14.0
+
+    def test_random_regular_degrees(self):
+        topo = random_regular_topology(50, degree=6, seed=3)
+        assert all(degree == 6 for degree in topo.degrees().values())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular_topology(7, degree=3)
+
+    def test_ring(self):
+        topo = ring_topology(10)
+        assert topo.num_edges == 10
+        assert all(degree == 2 for degree in topo.degrees().values())
+        with pytest.raises(ValueError):
+            ring_topology(2)
+
+    def test_complete(self):
+        topo = complete_topology(6)
+        assert topo.num_edges == 15
+        assert all(degree == 5 for degree in topo.degrees().values())

@@ -1,0 +1,131 @@
+"""Tests for the membership tracker and churn process."""
+
+import pytest
+
+from repro.overlay import ChurnConfig, ChurnProcess, MembershipTracker, scale_free_topology
+from repro.overlay.churn import ChurnEventType
+from repro.overlay.topology import OverlayTopology
+from repro.simulation import SimulationEngine
+
+
+class TestMembershipTracker:
+    def test_join_wires_new_peer(self):
+        topology = scale_free_topology(50, seed=1)
+        tracker = MembershipTracker(topology, target_degree=5, seed=2)
+        new_peer = tracker.join()
+        assert topology.has_peer(new_peer)
+        assert 1 <= topology.degree(new_peer) <= 5
+        assert tracker.joins == 1
+
+    def test_peer_ids_never_reused(self):
+        topology = scale_free_topology(20, mean_degree=6, seed=1)
+        tracker = MembershipTracker(topology, seed=2)
+        first = tracker.join()
+        tracker.leave(first)
+        second = tracker.join()
+        assert second != first
+
+    def test_explicit_peer_id(self):
+        topology = OverlayTopology([0, 1])
+        topology.add_edge(0, 1)
+        tracker = MembershipTracker(topology, target_degree=1, seed=3)
+        assert tracker.join(peer_id=10) == 10
+        with pytest.raises(ValueError):
+            tracker.join(peer_id=10)
+
+    def test_leave_repairs_orphans(self):
+        # Star topology: removing the hub would isolate every leaf.
+        topology = OverlayTopology.from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        tracker = MembershipTracker(topology, target_degree=2, seed=4)
+        tracker.leave(0)
+        assert not topology.has_peer(0)
+        assert topology.isolated_peers() == []
+        assert tracker.leaves == 1
+
+    def test_select_neighbors_excludes_self_and_is_bounded(self):
+        topology = scale_free_topology(30, seed=5)
+        tracker = MembershipTracker(topology, target_degree=10, seed=6)
+        chosen = tracker.select_neighbors(exclude=0, count=10)
+        assert 0 not in chosen
+        assert len(chosen) == len(set(chosen)) == 10
+
+    def test_invalid_target_degree(self):
+        with pytest.raises(ValueError):
+            MembershipTracker(OverlayTopology([0]), target_degree=0)
+
+    def test_population(self):
+        topology = OverlayTopology([0, 1, 2])
+        tracker = MembershipTracker(topology, target_degree=1)
+        assert tracker.population() == 3
+
+
+class TestChurnConfig:
+    def test_expected_population(self):
+        config = ChurnConfig(arrival_rate=2.0, mean_lifespan=500.0)
+        assert config.expected_population == 1000.0
+
+    def test_for_population(self):
+        config = ChurnConfig.for_population(200, mean_lifespan=400.0)
+        assert config.arrival_rate == pytest.approx(0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(arrival_rate=0.0, mean_lifespan=10.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(arrival_rate=1.0, mean_lifespan=-5.0)
+
+
+class TestChurnProcess:
+    def _run(self, config, horizon=200.0, initial=30, seed=1):
+        topology = scale_free_topology(initial, mean_degree=6, seed=seed)
+        tracker = MembershipTracker(topology, target_degree=6, seed=seed + 1)
+        joined, left = [], []
+        churn = ChurnProcess(
+            config,
+            tracker,
+            on_join=lambda peer, time: joined.append(peer),
+            on_leave=lambda peer, time: left.append(peer),
+        )
+        engine = SimulationEngine(seed=seed)
+        churn.start(engine)
+        engine.run(until=horizon)
+        return topology, tracker, churn, joined, left
+
+    def test_generates_joins_and_leaves(self):
+        config = ChurnConfig(arrival_rate=0.5, mean_lifespan=60.0)
+        topology, tracker, churn, joined, left = self._run(config)
+        assert churn.join_count() == len(joined) > 0
+        assert churn.leave_count() == len(left) > 0
+        assert topology.num_peers == 30 + len(joined) - len(left)
+
+    def test_population_tracks_littles_law(self):
+        config = ChurnConfig.for_population(40, mean_lifespan=50.0)
+        topology, *_ = self._run(config, horizon=600.0, initial=40, seed=3)
+        # Steady-state population should stay within a factor ~2 of the target.
+        assert 15 <= topology.num_peers <= 90
+
+    def test_initial_peers_not_churned_when_disabled(self):
+        config = ChurnConfig(arrival_rate=0.01, mean_lifespan=5.0, churn_initial_peers=False)
+        topology, tracker, churn, joined, left = self._run(config, horizon=100.0)
+        initial_still_present = [peer for peer in range(30) if topology.has_peer(peer)]
+        assert len(initial_still_present) == 30
+
+    def test_events_recorded_in_order(self):
+        config = ChurnConfig(arrival_rate=0.5, mean_lifespan=40.0)
+        _, _, churn, _, _ = self._run(config)
+        times = [event.time for event in churn.events]
+        assert times == sorted(times)
+        assert all(isinstance(event.event_type, ChurnEventType) for event in churn.events)
+
+    def test_stop_cancels_departures(self):
+        config = ChurnConfig(arrival_rate=0.5, mean_lifespan=40.0)
+        topology = scale_free_topology(20, mean_degree=5, seed=9)
+        tracker = MembershipTracker(topology, target_degree=5, seed=10)
+        churn = ChurnProcess(config, tracker)
+        engine = SimulationEngine(seed=11)
+        churn.start(engine)
+        engine.run(until=10.0)
+        churn.stop()
+        population = topology.num_peers
+        engine.run(until=500.0)
+        assert topology.num_peers == population

@@ -1,0 +1,143 @@
+"""Tests for the mutable overlay topology."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.overlay import OverlayTopology
+
+
+def triangle():
+    return OverlayTopology.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        topo = OverlayTopology.from_edges(4, [(0, 1), (2, 3)])
+        assert topo.num_peers == 4
+        assert topo.num_edges == 2
+
+    def test_from_networkx_round_trip(self):
+        graph = nx.path_graph(5)
+        topo = OverlayTopology.from_networkx(graph)
+        back = topo.to_networkx()
+        assert set(back.edges) == set(graph.edges)
+
+    def test_copy_is_independent(self):
+        topo = triangle()
+        clone = topo.copy()
+        clone.remove_edge(0, 1)
+        assert topo.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+
+class TestPeers:
+    def test_add_peer_idempotent(self):
+        topo = OverlayTopology()
+        topo.add_peer(1)
+        topo.add_peer(1)
+        assert topo.num_peers == 1
+
+    def test_remove_peer_returns_neighbors_and_cleans_edges(self):
+        topo = triangle()
+        former = topo.remove_peer(1)
+        assert former == [0, 2]
+        assert topo.num_peers == 2
+        assert topo.num_edges == 1
+        assert not topo.has_peer(1)
+
+    def test_remove_missing_peer_raises(self):
+        with pytest.raises(KeyError):
+            OverlayTopology().remove_peer(5)
+
+    def test_contains_and_len(self):
+        topo = triangle()
+        assert 0 in topo
+        assert 9 not in topo
+        assert len(topo) == 3
+
+
+class TestEdges:
+    def test_add_edge_rejects_self_loop(self):
+        topo = OverlayTopology([0])
+        with pytest.raises(ValueError):
+            topo.add_edge(0, 0)
+
+    def test_add_edge_requires_both_endpoints(self):
+        topo = OverlayTopology([0])
+        with pytest.raises(KeyError):
+            topo.add_edge(0, 1)
+
+    def test_duplicate_edge_returns_false(self):
+        topo = OverlayTopology([0, 1])
+        assert topo.add_edge(0, 1) is True
+        assert topo.add_edge(1, 0) is False
+        assert topo.num_edges == 1
+
+    def test_remove_edge(self):
+        topo = triangle()
+        topo.remove_edge(0, 1)
+        assert not topo.has_edge(0, 1)
+        assert topo.num_edges == 2
+
+    def test_remove_missing_edge_raises(self):
+        topo = OverlayTopology([0, 1])
+        with pytest.raises(KeyError):
+            topo.remove_edge(0, 1)
+
+    def test_edges_sorted_canonical(self):
+        topo = OverlayTopology.from_edges(4, [(3, 2), (1, 0)])
+        assert list(topo.edges()) == [(0, 1), (2, 3)]
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        topo = triangle()
+        assert topo.neighbors(0) == frozenset({1, 2})
+        assert topo.degree(0) == 2
+        assert topo.degrees() == {0: 2, 1: 2, 2: 2}
+
+    def test_neighbors_missing_peer_raises(self):
+        with pytest.raises(KeyError):
+            triangle().neighbors(99)
+
+    def test_mean_degree(self):
+        assert triangle().mean_degree() == pytest.approx(2.0)
+        assert OverlayTopology().mean_degree() == 0.0
+
+    def test_isolated_peers(self):
+        topo = OverlayTopology([0, 1, 2])
+        topo.add_edge(0, 1)
+        assert topo.isolated_peers() == [2]
+
+    def test_degree_histogram(self):
+        topo = OverlayTopology.from_edges(3, [(0, 1)])
+        assert topo.degree_histogram() == {1: 2, 0: 1}
+
+
+class TestStructure:
+    def test_is_connected(self):
+        assert triangle().is_connected()
+        disconnected = OverlayTopology.from_edges(4, [(0, 1)])
+        assert not disconnected.is_connected()
+        assert not OverlayTopology().is_connected()
+
+    def test_connected_components_sorted_by_size(self):
+        topo = OverlayTopology.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        components = topo.connected_components()
+        assert len(components) == 2
+        assert components[0] == {0, 1, 2}
+        assert components[1] == {3, 4}
+
+    def test_adjacency_matrix_symmetric(self):
+        topo = triangle()
+        matrix = topo.adjacency_matrix()
+        np.testing.assert_array_equal(matrix, matrix.T)
+        assert matrix.sum() == 6  # 3 undirected edges
+
+    def test_adjacency_matrix_custom_order(self):
+        topo = OverlayTopology.from_edges(3, [(0, 2)])
+        matrix = topo.adjacency_matrix(order=[2, 0, 1])
+        assert matrix[0, 1] == 1.0
+        assert matrix[1, 0] == 1.0
+        assert matrix[2].sum() == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the paper's Eq. (5)-(8) approximations."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.experiments.fig02_lorenz import exact_symmetric_marginal_pmf
+from repro.queueing.approximations import (
+    approximate_mean_wealth,
+    multinomial_marginal_pmf,
+    symmetric_marginal_pmf,
+    symmetric_zero_probability,
+)
+
+
+class TestMultinomialMarginal:
+    def test_is_binomial(self):
+        utilizations = [1.0, 0.5, 0.5]
+        pmf = multinomial_marginal_pmf(utilizations, queue=0, total_jobs=10)
+        expected = stats.binom.pmf(np.arange(11), 10, 0.5)
+        np.testing.assert_allclose(pmf, expected)
+
+    def test_sums_to_one(self):
+        pmf = multinomial_marginal_pmf([0.3, 0.9, 1.0], queue=2, total_jobs=25)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_mean_matches_share(self):
+        utilizations = [1.0, 3.0]
+        pmf = multinomial_marginal_pmf(utilizations, queue=1, total_jobs=40)
+        mean = float(np.dot(np.arange(41), pmf))
+        assert mean == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multinomial_marginal_pmf([], 0, 5)
+        with pytest.raises(ValueError):
+            multinomial_marginal_pmf([1.0, 0.0], 0, 5)
+        with pytest.raises(IndexError):
+            multinomial_marginal_pmf([1.0], 3, 5)
+        with pytest.raises(ValueError):
+            multinomial_marginal_pmf([1.0], 0, -2)
+
+
+class TestSymmetricMarginal:
+    def test_equals_multinomial_with_equal_utilizations(self):
+        a = symmetric_marginal_pmf(8, 30)
+        b = multinomial_marginal_pmf([1.0] * 8, 0, 30)
+        np.testing.assert_allclose(a, b)
+
+    def test_eq8_closed_form(self):
+        # Eq. (8): Q{B=b} = ((N-1)/N)^M C(M, b) (N-1)^{-b}.
+        num_peers, total = 5, 6
+        pmf = symmetric_marginal_pmf(num_peers, total)
+        import math
+
+        for b in range(total + 1):
+            expected = (
+                ((num_peers - 1) / num_peers) ** total
+                * math.comb(total, b)
+                * (num_peers - 1) ** (-b)
+            )
+            assert pmf[b] == pytest.approx(expected)
+
+    def test_zero_probability_formula(self):
+        assert symmetric_zero_probability(10, 20) == pytest.approx((9 / 10) ** 20)
+        assert symmetric_zero_probability(1, 0) == 1.0
+        assert symmetric_zero_probability(1, 5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            symmetric_marginal_pmf(0, 5)
+        with pytest.raises(ValueError):
+            symmetric_zero_probability(2, -1)
+
+
+class TestApproximateMeanWealth:
+    def test_shares_scale_with_utilization(self):
+        means = approximate_mean_wealth([1.0, 1.0, 2.0], 40)
+        np.testing.assert_allclose(means, [10.0, 10.0, 20.0])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            approximate_mean_wealth([1.0, 0.0], 10)
+
+
+class TestExactSymmetricMarginal:
+    def test_sums_to_one(self):
+        pmf = exact_symmetric_marginal_pmf(10, 50)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_mean_is_average_wealth(self):
+        pmf = exact_symmetric_marginal_pmf(10, 50)
+        mean = float(np.dot(np.arange(51), pmf))
+        assert mean == pytest.approx(5.0, rel=1e-9)
+
+    def test_matches_buzen_for_small_network(self):
+        from repro.queueing import ClosedJacksonNetwork
+
+        network = ClosedJacksonNetwork([1.0] * 4, 9)
+        np.testing.assert_allclose(
+            exact_symmetric_marginal_pmf(4, 9), network.marginal_pmf(0), atol=1e-9
+        )
+
+    def test_more_skewed_than_eq8(self):
+        from repro.core.metrics import gini_from_pmf
+
+        exact = exact_symmetric_marginal_pmf(50, 500)
+        approx = symmetric_marginal_pmf(50, 500)
+        assert gini_from_pmf(exact) > gini_from_pmf(approx)

@@ -1,0 +1,146 @@
+"""Tests for open Jackson networks, M/M/1 building blocks and MVA."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import MM1KQueue, MM1Queue, OpenJacksonNetwork
+from repro.queueing.mva import mva_full, mva_mean_queue_lengths, mva_throughputs
+
+
+class TestMM1:
+    def test_standard_formulas(self):
+        queue = MM1Queue(arrival_rate=1.0, service_rate=2.0)
+        assert queue.utilization == pytest.approx(0.5)
+        assert queue.mean_queue_length == pytest.approx(1.0)
+        assert queue.mean_waiting_time == pytest.approx(1.0)
+        assert queue.idle_probability == pytest.approx(0.5)
+
+    def test_pmf_is_geometric(self):
+        queue = MM1Queue(arrival_rate=1.0, service_rate=2.0)
+        pmf = queue.queue_length_pmf(10)
+        np.testing.assert_allclose(pmf[:3], [0.5, 0.25, 0.125])
+
+    def test_tail_probability(self):
+        queue = MM1Queue(arrival_rate=1.0, service_rate=4.0)
+        assert queue.tail_probability(2) == pytest.approx(0.0625)
+        assert queue.tail_probability(0) == 1.0
+
+    def test_unstable_queue_raises(self):
+        queue = MM1Queue(arrival_rate=3.0, service_rate=2.0)
+        assert not queue.is_stable
+        with pytest.raises(ValueError):
+            _ = queue.mean_queue_length
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            MM1Queue(arrival_rate=0.0, service_rate=1.0)
+
+
+class TestMM1K:
+    def test_blocking_probability_matches_closed_form(self):
+        queue = MM1KQueue(arrival_rate=1.0, service_rate=1.0, capacity=3)
+        # rho=1: uniform over 0..3, blocking = 1/4.
+        assert queue.blocking_probability == pytest.approx(0.25)
+        assert queue.mean_queue_length == pytest.approx(1.5)
+
+    def test_effective_throughput(self):
+        queue = MM1KQueue(arrival_rate=2.0, service_rate=1.0, capacity=2)
+        pmf = queue.queue_length_pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+        assert queue.effective_throughput == pytest.approx(2.0 * (1 - pmf[-1]))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MM1KQueue(arrival_rate=1.0, service_rate=1.0, capacity=0)
+
+
+class TestOpenJacksonNetwork:
+    def test_single_queue_reduces_to_mm1(self):
+        network = OpenJacksonNetwork([[0.0]], external_arrivals=[1.0], service_rates=[2.0])
+        reference = MM1Queue(1.0, 2.0)
+        result = network.queue_result(0)
+        assert result.utilization == pytest.approx(reference.utilization)
+        assert result.mean_queue_length == pytest.approx(reference.mean_queue_length)
+        assert result.idle_probability == pytest.approx(reference.idle_probability)
+
+    def test_tandem_queues(self):
+        # Two queues in series: all traffic enters queue 0 then visits queue 1.
+        network = OpenJacksonNetwork(
+            [[0.0, 1.0], [0.0, 0.0]], external_arrivals=[1.0, 0.0], service_rates=[2.0, 4.0]
+        )
+        np.testing.assert_allclose(network.arrival_rates, [1.0, 1.0])
+        np.testing.assert_allclose(network.utilizations, [0.5, 0.25])
+        assert network.is_stable()
+
+    def test_feedback_queue(self):
+        # A single queue with feedback probability p returns: lambda = alpha / (1 - p).
+        network = OpenJacksonNetwork([[0.25]], external_arrivals=[1.0], service_rates=[4.0])
+        np.testing.assert_allclose(network.arrival_rates, [1.0 / 0.75])
+
+    def test_instability_detected(self):
+        network = OpenJacksonNetwork(
+            [[0.0, 0.5], [0.0, 0.0]], external_arrivals=[2.0, 0.0], service_rates=[1.0, 5.0]
+        )
+        assert not network.is_stable()
+        assert list(network.unstable_queues()) == [0]
+        assert network.mean_queue_lengths()[0] == np.inf
+        with pytest.raises(ValueError):
+            network.marginal_pmf(0, 10)
+
+    def test_marginal_pmf_geometric(self):
+        network = OpenJacksonNetwork([[0.0]], external_arrivals=[1.0], service_rates=[2.0])
+        pmf = network.marginal_pmf(0, 5)
+        np.testing.assert_allclose(pmf[:2], [0.5, 0.25])
+
+    def test_expected_total_wealth_and_throughput(self):
+        network = OpenJacksonNetwork(
+            [[0.0, 1.0], [0.0, 0.0]], external_arrivals=[1.0, 0.0], service_rates=[2.0, 4.0]
+        )
+        assert network.total_throughput() == pytest.approx(1.0)
+        assert network.expected_total_wealth() == pytest.approx(1.0 + 1.0 / 3.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            OpenJacksonNetwork([[0.0, 1.2], [0.0, 0.0]], [1.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            OpenJacksonNetwork([[0.0]], [1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            OpenJacksonNetwork([[0.0]], [-1.0], [1.0])
+        with pytest.raises(ValueError):
+            OpenJacksonNetwork([[1.0]], [1.0], [1.0])  # no exit -> singular
+
+
+class TestMVA:
+    def test_single_queue_small_population(self):
+        lengths, throughput = mva_full([1.0], [1.0], 1)
+        assert lengths[0] == pytest.approx(1.0)
+        assert throughput == pytest.approx(1.0)
+
+    def test_two_symmetric_queues(self):
+        lengths = mva_mean_queue_lengths([1.0, 1.0], [1.0, 1.0], 4)
+        np.testing.assert_allclose(lengths, [2.0, 2.0])
+
+    def test_lengths_sum_to_population(self):
+        rng = np.random.default_rng(5)
+        lengths = mva_mean_queue_lengths(rng.random(6) + 0.1, rng.random(6) + 0.5, 15)
+        assert lengths.sum() == pytest.approx(15.0)
+
+    def test_throughputs_proportional_to_visit_ratios(self):
+        visit_ratios = [1.0, 2.0, 0.5]
+        throughputs = mva_throughputs(visit_ratios, [1.0, 1.0, 1.0], 10)
+        np.testing.assert_allclose(throughputs / throughputs[0], [1.0, 2.0, 0.5])
+
+    def test_zero_population(self):
+        lengths, throughput = mva_full([1.0, 1.0], [1.0, 1.0], 0)
+        np.testing.assert_allclose(lengths, 0.0)
+        assert throughput == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mva_full([], [], 3)
+        with pytest.raises(ValueError):
+            mva_full([1.0], [1.0, 2.0], 3)
+        with pytest.raises(ValueError):
+            mva_full([1.0], [0.0], 3)
+        with pytest.raises(ValueError):
+            mva_full([1.0], [1.0], -1)

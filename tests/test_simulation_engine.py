@@ -1,0 +1,182 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.simulation import SimulationEngine, SimulationError, StopSimulation
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        engine.schedule_at(3.0, lambda eng: fired.append("c"))
+        engine.schedule_at(1.0, lambda eng: fired.append("a"))
+        engine.schedule_at(2.0, lambda eng: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        engine.schedule_at(1.0, lambda eng: fired.append("first"))
+        engine.schedule_at(1.0, lambda eng: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_priority_orders_simultaneous_events(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        engine.schedule_at(1.0, lambda eng: fired.append("low"), priority=5)
+        engine.schedule_at(1.0, lambda eng: fired.append("high"), priority=-5)
+        engine.run()
+        assert fired == ["high", "low"]
+
+    def test_schedule_in_relative_delay(self):
+        engine = SimulationEngine(seed=0, start_time=10.0)
+        times = []
+        engine.schedule_in(2.5, lambda eng: times.append(eng.now))
+        engine.run()
+        assert times == [12.5]
+
+    def test_scheduling_in_past_raises(self):
+        engine = SimulationEngine(seed=0, start_time=5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(4.0, lambda eng: None)
+
+    def test_negative_delay_raises(self):
+        engine = SimulationEngine(seed=0)
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1.0, lambda eng: None)
+
+    def test_nan_time_raises(self):
+        engine = SimulationEngine(seed=0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(float("nan"), lambda eng: None)
+
+    def test_events_scheduled_from_callbacks(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+
+        def chain(eng):
+            fired.append(eng.now)
+            if len(fired) < 3:
+                eng.schedule_in(1.0, chain)
+
+        engine.schedule_at(0.0, chain)
+        engine.run()
+        assert fired == [0.0, 1.0, 2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        handle = engine.schedule_at(1.0, lambda eng: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        engine = SimulationEngine(seed=0)
+        handle = engine.schedule_at(1.0, lambda eng: None)
+        engine.schedule_at(2.0, lambda eng: None)
+        handle.cancel()
+        assert engine.pending_events == 1
+
+
+class TestRunControl:
+    def test_run_until_advances_clock_exactly(self):
+        engine = SimulationEngine(seed=0)
+        engine.schedule_at(1.0, lambda eng: None)
+        final = engine.run(until=5.0)
+        assert final == 5.0
+        assert engine.now == 5.0
+
+    def test_events_beyond_until_are_not_executed(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        engine.schedule_at(10.0, lambda eng: fired.append("late"))
+        engine.run(until=5.0)
+        assert fired == []
+        engine.run(until=15.0)
+        assert fired == ["late"]
+
+    def test_run_until_before_now_raises(self):
+        engine = SimulationEngine(seed=0, start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.run(until=5.0)
+
+    def test_max_events_limits_execution(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        for i in range(5):
+            engine.schedule_at(float(i), lambda eng, i=i: fired.append(i))
+        engine.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_stop_condition(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        for i in range(5):
+            engine.schedule_at(float(i), lambda eng, i=i: fired.append(i))
+        engine.add_stop_condition(lambda eng: len(fired) >= 3)
+        engine.run()
+        assert fired == [0, 1, 2]
+
+    def test_stop_simulation_exception(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+
+        def bomb(eng):
+            fired.append(eng.now)
+            raise StopSimulation
+
+        engine.schedule_at(1.0, bomb)
+        engine.schedule_at(2.0, lambda eng: fired.append(eng.now))
+        engine.run()
+        assert fired == [1.0]
+
+    def test_request_stop(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        engine.schedule_at(1.0, lambda eng: (fired.append(1), eng.request_stop()))
+        engine.schedule_at(2.0, lambda eng: fired.append(2))
+        engine.run()
+        assert fired == [1]
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine(seed=0).step() is False
+
+    def test_counters(self):
+        engine = SimulationEngine(seed=0)
+        engine.schedule_at(1.0, lambda eng: None)
+        engine.schedule_at(2.0, lambda eng: None)
+        engine.run()
+        assert engine.events_scheduled == 2
+        assert engine.events_executed == 2
+
+    def test_peek_next_time(self):
+        engine = SimulationEngine(seed=0)
+        assert engine.peek_next_time() is None
+        engine.schedule_at(4.0, lambda eng: None)
+        assert engine.peek_next_time() == 4.0
+
+
+class TestEngineRng:
+    def test_named_streams_are_stable_objects(self):
+        engine = SimulationEngine(seed=3)
+        assert engine.rng("a") is engine.rng("a")
+
+    def test_named_streams_reproducible_across_engines(self):
+        a = SimulationEngine(seed=3).rng("x").random(5)
+        b = SimulationEngine(seed=3).rng("x").random(5)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = SimulationEngine(seed=3).rng("x").random(5)
+        b = SimulationEngine(seed=4).rng("x").random(5)
+        assert list(a) != list(b)
+
+    def test_seed_property(self):
+        assert SimulationEngine(seed=42).seed == 42

@@ -1,0 +1,155 @@
+"""Tests for processes, periodic processes and monitors."""
+
+import pytest
+
+from repro.simulation import (
+    IntervalSampler,
+    PeriodicProcess,
+    Process,
+    ProcessState,
+    SimulationEngine,
+    TimeSeriesMonitor,
+)
+
+
+class CountingProcess(PeriodicProcess):
+    def __init__(self, interval):
+        super().__init__(interval=interval, name="counter")
+        self.times = []
+
+    def tick(self):
+        self.times.append(self.now)
+
+
+class TestProcessLifecycle:
+    def test_engine_access_before_start_raises(self):
+        process = Process(name="p")
+        with pytest.raises(RuntimeError):
+            _ = process.engine
+
+    def test_start_and_stop_states(self):
+        engine = SimulationEngine(seed=0)
+        process = Process(name="p")
+        assert process.state is ProcessState.CREATED
+        process.start(engine)
+        assert process.is_running
+        process.stop()
+        assert process.state is ProcessState.STOPPED
+
+    def test_double_start_raises(self):
+        engine = SimulationEngine(seed=0)
+        process = Process()
+        process.start(engine)
+        with pytest.raises(RuntimeError):
+            process.start(engine)
+
+    def test_stop_is_idempotent(self):
+        engine = SimulationEngine(seed=0)
+        process = Process()
+        process.start(engine)
+        process.stop()
+        process.stop()
+        assert process.state is ProcessState.STOPPED
+
+    def test_call_in_skipped_after_stop(self):
+        engine = SimulationEngine(seed=0)
+        process = Process()
+        process.start(engine)
+        calls = []
+        process.call_in(1.0, lambda: calls.append("x"))
+        process.stop()
+        engine.run()
+        assert calls == []
+
+    def test_call_at_runs_while_running(self):
+        engine = SimulationEngine(seed=0)
+        process = Process()
+        process.start(engine)
+        calls = []
+        process.call_at(2.0, lambda: calls.append(process.now))
+        engine.run()
+        assert calls == [2.0]
+
+
+class TestPeriodicProcess:
+    def test_tick_interval(self):
+        engine = SimulationEngine(seed=0)
+        proc = CountingProcess(interval=2.0)
+        proc.start(engine)
+        engine.run(until=7.0)
+        assert proc.times == [2.0, 4.0, 6.0]
+        assert proc.ticks == 3
+
+    def test_stop_cancels_future_ticks(self):
+        engine = SimulationEngine(seed=0)
+        proc = CountingProcess(interval=1.0)
+        proc.start(engine)
+        engine.run(until=2.5)
+        proc.stop()
+        engine.run(until=10.0)
+        assert proc.times == [1.0, 2.0]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CountingProcess(interval=0.0)
+
+    def test_jitter_applied(self):
+        engine = SimulationEngine(seed=0)
+
+        class Jittered(PeriodicProcess):
+            def __init__(self):
+                super().__init__(interval=1.0, jitter=lambda: 0.5)
+                self.times = []
+
+            def tick(self):
+                self.times.append(self.now)
+
+        proc = Jittered()
+        proc.start(engine)
+        engine.run(until=4.0)
+        assert proc.times == [1.5, 3.0]
+
+
+class TestMonitors:
+    def test_interval_sampler_records_series(self):
+        engine = SimulationEngine(seed=0)
+        values = iter(range(100))
+        sampler = IntervalSampler(interval=1.0, probe=lambda: float(next(values)), label="v")
+        sampler.start(engine)
+        engine.run(until=3.5)
+        assert sampler.series.x == [1.0, 2.0, 3.0]
+        assert sampler.series.y == [0.0, 1.0, 2.0]
+
+    def test_interval_sampler_warmup(self):
+        engine = SimulationEngine(seed=0)
+        sampler = IntervalSampler(interval=1.0, probe=lambda: 1.0, warmup=2.5)
+        sampler.start(engine)
+        engine.run(until=5.0)
+        assert sampler.series.x == [3.0, 4.0, 5.0]
+
+    def test_time_series_monitor_multiple_probes(self):
+        engine = SimulationEngine(seed=0)
+        monitor = TimeSeriesMonitor(interval=1.0)
+        monitor.add_probe("one", lambda: 1.0)
+        monitor.add_probe("two", lambda: 2.0)
+        monitor.start(engine)
+        engine.run(until=2.0)
+        assert monitor.series("one").y == [1.0, 1.0]
+        assert monitor.series("two").y == [2.0, 2.0]
+        assert monitor.labels() == ["one", "two"]
+
+    def test_duplicate_probe_label_rejected(self):
+        monitor = TimeSeriesMonitor(interval=1.0)
+        monitor.add_probe("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            monitor.add_probe("x", lambda: 0.0)
+
+    def test_snapshot_and_last_values(self):
+        engine = SimulationEngine(seed=0)
+        monitor = TimeSeriesMonitor(interval=1.0)
+        monitor.add_probe("x", lambda: 5.0)
+        monitor.start(engine)
+        assert monitor.snapshot() == {"x": 5.0}
+        assert monitor.last_values() == {"x": None}
+        engine.run(until=1.0)
+        assert monitor.last_values() == {"x": 5.0}

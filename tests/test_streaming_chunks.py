@@ -1,0 +1,110 @@
+"""Tests for chunks, buffer maps and chunk stores."""
+
+import pytest
+
+from repro.streaming import BufferMap, Chunk, ChunkStore
+
+
+class TestChunk:
+    def test_valid_chunk(self):
+        chunk = Chunk(index=3, size_bytes=1000, origin_time=1.5)
+        assert chunk.index == 3
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Chunk(index=-1)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ValueError):
+            Chunk(index=0, size_bytes=0)
+
+    def test_chunks_are_hashable_and_frozen(self):
+        chunk = Chunk(index=1)
+        assert chunk in {chunk}
+        with pytest.raises(AttributeError):
+            chunk.index = 2
+
+
+class TestBufferMap:
+    def test_add_and_contains(self):
+        buffer_map = BufferMap()
+        assert buffer_map.add(5)
+        assert 5 in buffer_map
+        assert 6 not in buffer_map
+
+    def test_duplicate_add_returns_false(self):
+        buffer_map = BufferMap()
+        buffer_map.add(1)
+        assert buffer_map.add(1) is False
+        assert len(buffer_map) == 1
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            BufferMap().add(-3)
+
+    def test_window_eviction(self):
+        buffer_map = BufferMap(window_size=3)
+        for index in range(6):
+            buffer_map.add(index)
+        assert sorted(buffer_map) == [3, 4, 5]
+        assert buffer_map.highest_index == 5
+
+    def test_missing_in_range(self):
+        buffer_map = BufferMap()
+        buffer_map.add(1)
+        buffer_map.add(3)
+        assert buffer_map.missing_in_range(0, 5) == [0, 2, 4]
+
+    def test_contiguous_from(self):
+        buffer_map = BufferMap()
+        for index in (2, 3, 4, 6):
+            buffer_map.add(index)
+        assert buffer_map.contiguous_from(2) == 3
+        assert buffer_map.contiguous_from(5) == 0
+
+    def test_discard(self):
+        buffer_map = BufferMap()
+        buffer_map.add(1)
+        buffer_map.discard(1)
+        assert 1 not in buffer_map
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            BufferMap(window_size=0)
+
+    def test_holdings_snapshot_is_frozen(self):
+        buffer_map = BufferMap()
+        buffer_map.add(1)
+        holdings = buffer_map.holdings()
+        assert holdings == frozenset({1})
+        with pytest.raises(AttributeError):
+            holdings.add(2)
+
+
+class TestChunkStore:
+    def test_insert_and_get(self):
+        store = ChunkStore()
+        chunk = Chunk(index=4)
+        assert store.insert(chunk)
+        assert store.get(4) is chunk
+        assert store.has(4)
+        assert store.received_count == 1
+
+    def test_duplicate_counted(self):
+        store = ChunkStore()
+        store.insert(Chunk(index=1))
+        assert store.insert(Chunk(index=1)) is False
+        assert store.duplicate_count == 1
+
+    def test_eviction_removes_payload(self):
+        store = ChunkStore(window_size=2)
+        for index in range(4):
+            store.insert(Chunk(index=index))
+        assert store.get(0) is None
+        assert store.indices() == [2, 3]
+
+    def test_bulk_insert(self):
+        store = ChunkStore()
+        stored = store.bulk_insert([Chunk(index=i) for i in (0, 1, 1, 2)])
+        assert stored == 3
+        assert len(store) == 3

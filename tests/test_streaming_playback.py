@@ -1,0 +1,87 @@
+"""Tests for playback buffering and continuity accounting."""
+
+import pytest
+
+from repro.streaming import BufferMap, PlaybackBuffer
+
+
+def filled_map(indices):
+    buffer_map = BufferMap()
+    for index in indices:
+        buffer_map.add(index)
+    return buffer_map
+
+
+class TestPlaybackStart:
+    def test_does_not_start_without_enough_chunks(self):
+        playback = PlaybackBuffer(startup_chunks=3)
+        assert playback.maybe_start(filled_map([0, 1]), time=5.0) is False
+        assert not playback.started
+
+    def test_starts_with_contiguous_prefix(self):
+        playback = PlaybackBuffer(startup_chunks=3)
+        playback.note_join(0.0)
+        assert playback.maybe_start(filled_map([0, 1, 2]), time=4.0)
+        assert playback.started
+        assert playback.stats.startup_delay == pytest.approx(4.0)
+
+    def test_gap_prevents_start(self):
+        playback = PlaybackBuffer(startup_chunks=3)
+        assert playback.maybe_start(filled_map([0, 2, 3]), time=1.0) is False
+
+    def test_join_index_offsets_requirement(self):
+        playback = PlaybackBuffer(startup_chunks=2, join_index=10)
+        assert playback.maybe_start(filled_map([10, 11]), time=1.0)
+        assert playback.playback_point == 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PlaybackBuffer(playback_rate=0.0)
+        with pytest.raises(ValueError):
+            PlaybackBuffer(startup_chunks=-1)
+
+
+class TestPlaybackAdvance:
+    def test_consumes_at_playback_rate(self):
+        playback = PlaybackBuffer(playback_rate=1.0, startup_chunks=1)
+        buffer_map = filled_map(range(10))
+        playback.maybe_start(buffer_map, time=0.0)
+        missed = playback.advance(buffer_map, time=5.0)
+        assert missed == []
+        assert playback.stats.chunks_played == 5
+        assert playback.playback_point == 5
+        assert playback.stats.continuity == 1.0
+
+    def test_missing_chunks_counted_and_skipped(self):
+        playback = PlaybackBuffer(playback_rate=1.0, startup_chunks=1)
+        buffer_map = filled_map([0, 1, 3])
+        playback.maybe_start(buffer_map, time=0.0)
+        missed = playback.advance(buffer_map, time=4.0)
+        assert missed == [2]
+        assert playback.stats.chunks_missed == 1
+        assert playback.stats.stall_events == 1
+        assert playback.stats.continuity == pytest.approx(3 / 4)
+
+    def test_advance_before_start_is_noop(self):
+        playback = PlaybackBuffer(startup_chunks=5)
+        missed = playback.advance(filled_map([0]), time=10.0)
+        assert missed == []
+        assert playback.stats.chunks_played == 0
+
+    def test_partial_interval_consumes_nothing(self):
+        playback = PlaybackBuffer(playback_rate=1.0, startup_chunks=1)
+        buffer_map = filled_map(range(5))
+        playback.maybe_start(buffer_map, time=0.0)
+        playback.advance(buffer_map, time=0.4)
+        assert playback.stats.chunks_played == 0
+
+    def test_continuity_vacuously_one_before_playback(self):
+        assert PlaybackBuffer().stats.continuity == 1.0
+
+    def test_repeated_advances_accumulate(self):
+        playback = PlaybackBuffer(playback_rate=2.0, startup_chunks=1)
+        buffer_map = filled_map(range(20))
+        playback.maybe_start(buffer_map, time=0.0)
+        playback.advance(buffer_map, time=1.0)
+        playback.advance(buffer_map, time=3.0)
+        assert playback.stats.chunks_played == 6

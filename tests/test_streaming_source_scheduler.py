@@ -1,0 +1,147 @@
+"""Tests for the stream source and chunk schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import SimulationEngine
+from repro.streaming import (
+    BufferMap,
+    PlaybackDrivenScheduler,
+    RarestFirstScheduler,
+    StreamSource,
+)
+
+
+class TestStreamSource:
+    def test_emits_at_chunk_rate(self):
+        engine = SimulationEngine(seed=0)
+        source = StreamSource(chunk_rate=2.0)
+        source.start(engine)
+        engine.run(until=5.0)
+        assert source.chunks_emitted == 10
+        assert source.latest_index == 9
+
+    def test_subscribers_notified(self):
+        engine = SimulationEngine(seed=0)
+        source = StreamSource(chunk_rate=1.0)
+        received = []
+        source.subscribe(lambda chunk: received.append(chunk.index))
+        source.start(engine)
+        engine.run(until=3.0)
+        assert received == [0, 1, 2]
+
+    def test_emit_backlog(self):
+        source = StreamSource(chunk_rate=1.0)
+        chunks = source.emit_backlog(5)
+        assert [chunk.index for chunk in chunks] == [0, 1, 2, 3, 4]
+        assert source.has_chunk(3)
+        with pytest.raises(ValueError):
+            source.emit_backlog(-1)
+
+    def test_playback_point_lags_live_edge(self):
+        source = StreamSource(chunk_rate=1.0)
+        source.emit_backlog(20)
+        assert source.playback_point(startup_delay_chunks=5) == 14
+        assert source.playback_point(startup_delay_chunks=100) == 0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            StreamSource(chunk_rate=0.0)
+
+
+def _maps(holdings):
+    result = {}
+    for peer, indices in holdings.items():
+        buffer_map = BufferMap()
+        for index in indices:
+            buffer_map.add(index)
+        result[peer] = buffer_map
+    return result
+
+
+class TestSchedulers:
+    def test_playback_driven_prefers_earliest(self):
+        scheduler = PlaybackDrivenScheduler(
+            max_requests_per_round=2, rng=np.random.default_rng(0)
+        )
+        own = BufferMap()
+        neighbors = _maps({1: [0, 1, 2, 3]})
+        requests = scheduler.schedule(own, neighbors, want_range=range(0, 4))
+        assert [request.chunk_index for request in requests] == [0, 1]
+
+    def test_rarest_first_prefers_rare_chunks(self):
+        scheduler = RarestFirstScheduler(max_requests_per_round=1, rng=np.random.default_rng(0))
+        own = BufferMap()
+        neighbors = _maps({1: [0, 1], 2: [0], 3: [0]})
+        requests = scheduler.schedule(own, neighbors, want_range=range(0, 2))
+        assert requests[0].chunk_index == 1  # held by one neighbour only
+
+    def test_skips_chunks_already_held(self):
+        scheduler = PlaybackDrivenScheduler(rng=np.random.default_rng(0))
+        own = BufferMap()
+        own.add(0)
+        neighbors = _maps({1: [0, 1]})
+        requests = scheduler.schedule(own, neighbors, want_range=range(0, 2))
+        assert [request.chunk_index for request in requests] == [1]
+
+    def test_skips_chunks_nobody_has(self):
+        scheduler = PlaybackDrivenScheduler(rng=np.random.default_rng(0))
+        requests = scheduler.schedule(BufferMap(), _maps({1: []}), want_range=range(0, 3))
+        assert requests == []
+
+    def test_budget_limits_requests(self):
+        scheduler = PlaybackDrivenScheduler(
+            max_requests_per_round=5, rng=np.random.default_rng(0)
+        )
+        neighbors = _maps({1: [0, 1, 2, 3, 4]})
+        requests = scheduler.schedule(
+            BufferMap(),
+            neighbors,
+            want_range=range(0, 5),
+            price_lookup=lambda seller, chunk: 1.0,
+            budget=2.0,
+        )
+        assert len(requests) == 2
+
+    def test_cheapest_supplier_chosen_in_cheapest_mode(self):
+        scheduler = PlaybackDrivenScheduler(
+            rng=np.random.default_rng(0), supplier_choice="cheapest"
+        )
+        neighbors = _maps({1: [0], 2: [0]})
+        prices = {1: 5.0, 2: 1.0}
+        requests = scheduler.schedule(
+            BufferMap(),
+            neighbors,
+            want_range=range(0, 1),
+            price_lookup=lambda seller, chunk: prices[seller],
+        )
+        assert requests[0].supplier_id == 2
+        assert requests[0].price == 1.0
+
+    def test_availability_mode_uses_posted_price(self):
+        scheduler = PlaybackDrivenScheduler(
+            rng=np.random.default_rng(0), supplier_choice="availability"
+        )
+        neighbors = _maps({7: [0]})
+        requests = scheduler.schedule(
+            BufferMap(),
+            neighbors,
+            want_range=range(0, 1),
+            price_lookup=lambda seller, chunk: 3.0,
+        )
+        assert requests[0].supplier_id == 7
+        assert requests[0].price == 3.0
+
+    def test_max_requests_cap(self):
+        scheduler = PlaybackDrivenScheduler(
+            max_requests_per_round=3, rng=np.random.default_rng(0)
+        )
+        neighbors = _maps({1: list(range(10))})
+        requests = scheduler.schedule(BufferMap(), neighbors, want_range=range(0, 10))
+        assert len(requests) == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PlaybackDrivenScheduler(max_requests_per_round=0)
+        with pytest.raises(ValueError):
+            PlaybackDrivenScheduler(supplier_choice="bogus")

@@ -1,0 +1,102 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.overlay import ChurnConfig, ring_topology, scale_free_topology
+from repro.workloads import (
+    elastic_chunk_rates,
+    equal_initial_wealth,
+    exponential_initial_wealth,
+    generate_churn_trace,
+    pareto_initial_wealth,
+    streaming_chunk_rates,
+    zipf_demand_weights,
+)
+
+
+class TestDemand:
+    def test_streaming_rates_sum_to_rate(self):
+        topology = scale_free_topology(40, mean_degree=8, seed=1)
+        rates = streaming_chunk_rates(topology, streaming_rate=2.0)
+        for buyer, sellers in rates.items():
+            if sellers:
+                assert sum(sellers.values()) == pytest.approx(2.0)
+                assert set(sellers) <= set(topology.neighbors(buyer))
+
+    def test_elastic_rates_heterogeneous(self):
+        topology = ring_topology(30)
+        rates = elastic_chunk_rates(topology, mean_rate=1.0, dispersion=1.0, seed=2)
+        aggregates = [sum(sellers.values()) for sellers in rates.values()]
+        assert np.std(aggregates) > 0.1
+        assert np.mean(aggregates) == pytest.approx(1.0, abs=0.5)
+
+    def test_elastic_zero_dispersion_is_uniform(self):
+        topology = ring_topology(10)
+        rates = elastic_chunk_rates(topology, mean_rate=1.0, dispersion=0.0, seed=3)
+        aggregates = [sum(sellers.values()) for sellers in rates.values()]
+        np.testing.assert_allclose(aggregates, 1.0)
+
+    def test_zipf_weights(self):
+        weights = zipf_demand_weights(100, exponent=1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights[0] > weights[50]
+        with pytest.raises(ValueError):
+            zipf_demand_weights(0)
+
+
+class TestWealthAllocators:
+    def test_equal_allocation(self):
+        allocation = equal_initial_wealth(range(5), 10.0)
+        assert allocation == {i: 10.0 for i in range(5)}
+
+    def test_exponential_allocation_mean_preserved(self):
+        allocation = exponential_initial_wealth(range(200), 10.0, seed=1)
+        assert np.mean(list(allocation.values())) == pytest.approx(10.0)
+        assert min(allocation.values()) >= 0.0
+
+    def test_pareto_allocation_mean_preserved_and_heavy_tailed(self):
+        allocation = pareto_initial_wealth(range(500), 10.0, tail_index=1.5, seed=2)
+        values = np.array(list(allocation.values()))
+        assert values.mean() == pytest.approx(10.0)
+        assert values.max() > 5 * values.mean()
+
+    def test_pareto_requires_finite_mean(self):
+        with pytest.raises(ValueError):
+            pareto_initial_wealth(range(10), 10.0, tail_index=1.0)
+
+
+class TestChurnTraces:
+    def test_trace_sorted_and_within_horizon(self):
+        config = ChurnConfig(arrival_rate=0.5, mean_lifespan=100.0)
+        trace = generate_churn_trace(config, horizon=500.0, initial_peers=20,
+                                     first_new_peer_id=20, seed=1)
+        times = [event.time for event in trace]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 500.0 for t in times)
+
+    def test_every_leave_has_matching_join_or_initial_peer(self):
+        config = ChurnConfig(arrival_rate=0.5, mean_lifespan=50.0)
+        trace = generate_churn_trace(config, horizon=300.0, initial_peers=10,
+                                     first_new_peer_id=10, seed=2)
+        joined = {event.peer_id for event in trace if event.action == "join"}
+        for event in trace:
+            if event.action == "leave":
+                assert event.peer_id in joined or event.peer_id < 10
+
+    def test_initial_peers_not_churned_when_disabled(self):
+        config = ChurnConfig(arrival_rate=0.2, mean_lifespan=10.0, churn_initial_peers=False)
+        trace = generate_churn_trace(config, horizon=200.0, initial_peers=10,
+                                     first_new_peer_id=10, seed=3)
+        assert all(event.peer_id >= 10 for event in trace)
+
+    def test_arrival_count_scales_with_rate(self):
+        low = generate_churn_trace(ChurnConfig(0.1, 50.0), horizon=1000.0, seed=4)
+        high = generate_churn_trace(ChurnConfig(1.0, 50.0), horizon=1000.0, seed=4)
+        low_joins = sum(1 for event in low if event.action == "join")
+        high_joins = sum(1 for event in high if event.action == "join")
+        assert high_joins > 3 * low_joins
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            generate_churn_trace(ChurnConfig(1.0, 10.0), horizon=0.0)
