@@ -1,0 +1,71 @@
+"""Benchmark: `repro.runner` worker-scaling and cache effectiveness.
+
+Runs the same fig11 churn sweep three ways — one worker, N workers, and a
+warm-cache re-run — verifies the aggregate tables are byte-identical in
+all three modes, and records the wall-clock numbers to ``BENCH_runner.json``
+next to this file.
+
+Note: on a single-CPU container the parallel speedup is nominal (the
+point of the recording is to track it across environments); the cache
+speedup is large everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.runner import (
+    ArtifactCache,
+    ParamGrid,
+    SweepSpec,
+    aggregate_sweep,
+    default_jobs,
+    run_sweep,
+)
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        "fig11",
+        grid=ParamGrid({"mean_lifespan": [250.0, 400.0], "rate_factor": [1.0, 2.0]}),
+        replications=2,
+        base_seed=7,
+        scale="smoke",
+        name="runner-scaling",
+    )
+
+
+def test_runner_scaling(tmp_path):
+    jobs = max(2, default_jobs())
+
+    serial = run_sweep(_spec(), jobs=1)
+    parallel = run_sweep(_spec(), jobs=jobs)
+
+    cache = ArtifactCache(tmp_path / "cache")
+    run_sweep(_spec(), jobs=jobs, cache=cache)
+    warm = run_sweep(_spec(), jobs=jobs, cache=cache)
+
+    serial_csv = aggregate_sweep(serial).to_csv()
+    assert aggregate_sweep(parallel).to_csv() == serial_csv
+    assert aggregate_sweep(warm).to_csv() == serial_csv
+    assert warm.executed == 0
+
+    record = {
+        "sweep": _spec().describe(),
+        "shards": len(serial.shards),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "seconds_jobs1": round(serial.duration, 4),
+        "seconds_jobsN": round(parallel.duration, 4),
+        "seconds_warm_cache": round(warm.duration, 4),
+        "parallel_speedup": round(serial.duration / max(parallel.duration, 1e-9), 3),
+        "cache_speedup": round(serial.duration / max(warm.duration, 1e-9), 3),
+        "byte_identical": True,
+    }
+    OUTPUT_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(record, indent=2))

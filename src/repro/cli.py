@@ -5,10 +5,20 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run fig3 --scale default --seed 7
     python -m repro.cli run fig9 --scale smoke --csv /tmp/fig9.csv
+    python -m repro.cli run fig11 --reps 8 --jobs 4
+    python -m repro.cli sweep fig9-taxation-grid --reps 4 --jobs 4
+    python -m repro.cli sweep fig11 --param mean_lifespan=500,1000 \
+        --param rate_factor=1,2 --reps 4 --jobs 4 --cache-dir .repro-cache
 
-``list`` prints every registered experiment with its paper section; ``run``
-executes one experiment and prints its tables (optionally also writing the
-first table as CSV).
+``list`` prints every registered experiment (and sweep scenario) with its
+paper section; ``run`` executes one experiment — with ``--reps > 1`` it
+replicates the whole experiment over independent seeds through the
+``repro.runner`` orchestrator and prints the cross-replication aggregate
+(``--jobs``/``--cache-dir`` route a single run through the orchestrator
+too, printing the experiment's own tables); ``sweep`` runs a
+parameter grid (a named scenario bundle or ad-hoc ``--param`` axes)
+sharded over worker processes, with optional artifact caching so
+interrupted or repeated sweeps skip completed shards.
 """
 
 from __future__ import annotations
@@ -23,6 +33,30 @@ from repro.experiments.common import Scale
 __all__ = ["build_parser", "main"]
 
 
+def _print_error(error: Exception) -> int:
+    # KeyError stringifies to its repr ("'message'"); unwrap for clean stderr.
+    message = error.args[0] if error.args else str(error)
+    print(message, file=sys.stderr)
+    return 2
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reps", type=int, default=1, help="independent replications per configuration"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache directory; completed shards are reused across runs",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -35,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the registered experiments")
+    subparsers.add_parser("list", help="list the registered experiments and sweep scenarios")
 
     run_parser = subparsers.add_parser("run", help="run one experiment and print its tables")
     run_parser.add_argument("experiment", help="experiment id, e.g. fig3 (see `list`)")
@@ -51,23 +85,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="optional path to write the first result table as CSV",
     )
+    _add_sweep_options(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a parameter sweep (named scenario or experiment id with --param axes)",
+    )
+    sweep_parser.add_argument(
+        "target",
+        help="scenario name (e.g. fig9-taxation-grid) or sweepable experiment id",
+    )
+    sweep_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2",
+        help="grid axis, repeatable; e.g. --param tax_rate=0.1,0.2",
+    )
+    sweep_parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in Scale],
+        default=Scale.DEFAULT.value,
+        help="reproduction scale (default: %(default)s)",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0, help="sweep base seed")
+    sweep_parser.add_argument(
+        "--csv", default=None, help="optional path to write the aggregate table as CSV"
+    )
+    _add_sweep_options(sweep_parser)
     return parser
 
 
 def _command_list() -> int:
+    from repro.runner import SCENARIOS
+
     rows = describe_experiments()
     width = max(len(row["id"]) for row in rows)
     for row in rows:
         print(f"{row['id']:<{width}}  [Sec. {row['section']}]  {row['title']}")
+    print("\nsweep scenarios:")
+    for name in sorted(SCENARIOS):
+        print(f"  {name}  ({SCENARIOS[name]().describe()})")
     return 0
 
 
-def _command_run(experiment: str, scale: str, seed: int, csv_path: Optional[str]) -> int:
-    try:
-        result = run_experiment(experiment, scale=scale, seed=seed)
-    except KeyError as error:
-        print(str(error), file=sys.stderr)
-        return 2
+def _emit_result(result, csv_path: Optional[str]) -> int:
+    """Print an experiment/aggregate result and optionally write its CSV."""
     print(result.format())
     if csv_path:
         with open(csv_path, "w", encoding="utf-8") as handle:
@@ -76,13 +139,93 @@ def _command_run(experiment: str, scale: str, seed: int, csv_path: Optional[str]
     return 0
 
 
+def _run_orchestrated(
+    experiment: str,
+    scale: str,
+    seed: int,
+    reps: int,
+    jobs: int,
+    cache_dir: Optional[str],
+    csv_path: Optional[str],
+) -> int:
+    from repro.runner import ArtifactCache, SweepSpec, aggregate_report, run_sweep
+
+    spec = SweepSpec(experiment, replications=reps, base_seed=seed, scale=scale)
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    try:
+        report = run_sweep(spec, jobs=jobs, cache=cache, progress=print)
+    except (KeyError, ValueError) as error:
+        return _print_error(error)
+    print(report.describe())
+    print()
+    if reps == 1:
+        # A single replication is a plain run (with caching/workers); print
+        # the experiment's own tables rather than a degenerate aggregate.
+        return _emit_result(report.shards[0].result(), csv_path)
+    return _emit_result(aggregate_report(report), csv_path)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.reps > 1 or args.jobs != 1 or args.cache_dir:
+        return _run_orchestrated(
+            args.experiment, args.scale, args.seed, args.reps, args.jobs,
+            args.cache_dir, args.csv,
+        )
+    try:
+        result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    except KeyError as error:
+        return _print_error(error)
+    return _emit_result(result, args.csv)
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import (
+        SCENARIOS,
+        ArtifactCache,
+        ParamGrid,
+        SweepSpec,
+        aggregate_report,
+        run_sweep,
+        scenario,
+    )
+
+    try:
+        if args.target in SCENARIOS:
+            spec = scenario(
+                args.target, replications=args.reps, base_seed=args.seed, scale=args.scale
+            )
+            if args.param:
+                spec.grid = ParamGrid.parse(args.param)
+        else:
+            spec = SweepSpec(
+                args.target,
+                grid=ParamGrid.parse(args.param),
+                replications=args.reps,
+                base_seed=args.seed,
+                scale=args.scale,
+            )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    try:
+        report = run_sweep(spec, jobs=args.jobs, cache=cache, progress=print)
+    except (KeyError, ValueError) as error:
+        return _print_error(error)
+    print(report.describe())
+    print()
+    return _emit_result(aggregate_report(report), args.csv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
         return _command_list()
-    return _command_run(args.experiment, args.scale, args.seed, args.csv)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    return _command_run(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro.cli`

@@ -79,7 +79,10 @@ def gini_index(wealths: Sequence[float]) -> float:
     sorted_arr = np.sort(arr)
     n = arr.size
     ranks = np.arange(1, n + 1)
-    return float(2.0 * np.dot(ranks, sorted_arr) / (n * total) - (n + 1.0) / n)
+    value = 2.0 * np.dot(ranks, sorted_arr) / (n * total) - (n + 1.0) / n
+    # Floating-point cancellation can land a hair outside [0, 1] (e.g. -1e-16
+    # for a constant sample); clamp to the metric's mathematical range.
+    return float(min(max(value, 0.0), 1.0))
 
 
 def lorenz_curve(wealths: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:

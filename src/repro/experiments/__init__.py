@@ -21,9 +21,12 @@ Scales
 from repro.experiments.common import ExperimentResult, Scale, scale_parameters
 from repro.experiments.registry import (
     EXPERIMENTS,
+    SWEEPS,
     describe_experiments,
     get_experiment,
+    get_sweep_runner,
     run_experiment,
+    run_sweep_point,
 )
 
 __all__ = [
@@ -31,7 +34,10 @@ __all__ = [
     "Scale",
     "scale_parameters",
     "EXPERIMENTS",
+    "SWEEPS",
     "describe_experiments",
     "get_experiment",
+    "get_sweep_runner",
     "run_experiment",
+    "run_sweep_point",
 ]

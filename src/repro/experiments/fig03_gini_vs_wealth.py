@@ -49,10 +49,78 @@ from repro.queueing.approximations import symmetric_marginal_pmf
 from repro.utils.records import ResultTable, SeriesRecord
 from repro.utils.rng import make_rng
 
-__all__ = ["run", "heterogeneous_equilibrium_gini", "sample_symmetric_composition_gini"]
+__all__ = [
+    "run",
+    "run_point",
+    "heterogeneous_equilibrium_gini",
+    "sample_symmetric_composition_gini",
+]
 
 EXPERIMENT_ID = "fig3"
 TITLE = "Fig. 3 — Gini index vs average wealth c"
+
+#: Parameters `run_point` accepts as sweep axes.
+SWEEP_PARAMS = ("num_peers", "average_wealth", "num_samples")
+
+
+def run_point(
+    scale: str = Scale.DEFAULT,
+    seed: int = 0,
+    num_peers: int = 100,
+    average_wealth: float = 20.0,
+    num_samples: int | None = None,
+) -> ExperimentResult:
+    """Evaluate a single ``(N, c)`` grid point of Fig. 3.
+
+    This is the sweepable unit the ``repro.runner`` orchestrator shards:
+    one row with the heterogeneous equilibrium Gini and its two analytic
+    reference columns.  The sampling RNG is derived from ``(seed, "fig3",
+    N, c)``, so a point's result is independent of any other grid point.
+    """
+    params = scale_parameters(
+        scale,
+        smoke=dict(num_samples=4),
+        default=dict(num_samples=8),
+        paper=dict(num_samples=16),
+    )
+    if num_samples is None:
+        num_samples = int(params["num_samples"])
+    num_peers = int(num_peers)
+    average_wealth = float(average_wealth)
+
+    gini_heterogeneous = heterogeneous_equilibrium_gini(
+        num_peers, average_wealth, seed=seed, num_samples=num_samples
+    )
+    rng = make_rng(seed, "fig3", num_peers, average_wealth)
+    gini_symmetric = sample_symmetric_composition_gini(
+        num_peers, average_wealth, rng, num_samples=num_samples
+    )
+    gini_eq8 = gini_from_pmf(
+        symmetric_marginal_pmf(num_peers, int(round(average_wealth * num_peers)))
+    )
+
+    metadata = dict(
+        scale=str(scale),
+        seed=seed,
+        num_peers=num_peers,
+        average_wealth=average_wealth,
+        num_samples=num_samples,
+    )
+    table = ResultTable(title=TITLE, metadata=metadata)
+    table.add_row(
+        num_peers_N=num_peers,
+        average_wealth_c=average_wealth,
+        gini=gini_heterogeneous,
+        gini_symmetric_composition=gini_symmetric,
+        gini_eq8_approx=gini_eq8,
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[table],
+        series=[],
+        metadata=metadata,
+    )
 
 
 def heterogeneous_equilibrium_gini(

@@ -24,10 +24,84 @@ from repro.p2psim.config import MarketSimConfig, UtilizationMode
 from repro.p2psim.market_sim import CreditMarketSimulator
 from repro.utils.records import ResultTable
 
-__all__ = ["run"]
+__all__ = ["run", "run_point"]
 
 EXPERIMENT_ID = "fig9"
 TITLE = "Fig. 9 — Gini index under different tax rates and thresholds"
+
+#: Parameters `run_point` accepts as sweep axes.
+SWEEP_PARAMS = ("tax_rate", "tax_threshold", "num_peers", "horizon")
+
+
+def run_point(
+    scale: str = Scale.DEFAULT,
+    seed: int = 0,
+    tax_rate: float = 0.0,
+    tax_threshold: float = 50.0,
+    num_peers: int | None = None,
+    horizon: float | None = None,
+) -> ExperimentResult:
+    """Run one ``(tax_rate, tax_threshold)`` grid point of the Fig. 9 study.
+
+    ``tax_rate=0`` means no taxation.  Population and horizon default to
+    the scale preset but are sweepable too (the taxation grid of the
+    sensitivity study varies rate × threshold at a fixed population).
+    """
+    params = scale_parameters(
+        scale,
+        smoke=dict(num_peers=60, horizon=400.0, step=2.0, initial_credits=30.0),
+        default=dict(num_peers=200, horizon=5000.0, step=2.0, initial_credits=100.0),
+        paper=dict(num_peers=1000, horizon=20000.0, step=1.0, initial_credits=100.0),
+    )
+    if num_peers is not None:
+        params["num_peers"] = int(num_peers)
+    if horizon is not None:
+        params["horizon"] = float(horizon)
+    tax_rate = float(tax_rate)
+    tax_threshold = float(tax_threshold)
+
+    if tax_rate <= 0.0:
+        policy: object = NoTax()
+        label = "no taxation"
+    else:
+        policy = ThresholdIncomeTax(rate=tax_rate, threshold=tax_threshold)
+        label = f"rate={tax_rate:g} thres.={tax_threshold:g}"
+    config = MarketSimConfig(
+        num_peers=params["num_peers"],
+        initial_credits=params["initial_credits"],
+        horizon=params["horizon"],
+        step=params["step"],
+        utilization=UtilizationMode.ASYMMETRIC,
+        tax_policy=policy,
+        sample_interval=max(params["step"], params["horizon"] / 100.0),
+        seed=seed,
+    )
+    result = CreditMarketSimulator.run_config(config)
+    gini_series = result.recorder.gini_series
+    gini_series.label = label
+
+    metadata = dict(
+        params, scale=str(scale), seed=seed, tax_rate=tax_rate, tax_threshold=tax_threshold
+    )
+    collected: Optional[float] = getattr(policy, "total_collected", None)
+    rebated: Optional[float] = getattr(policy, "total_rebated", None)
+    table = ResultTable(title=TITLE, metadata=metadata)
+    table.add_row(
+        taxation=label,
+        tax_rate=tax_rate,
+        tax_threshold=tax_threshold,
+        stabilized_gini=result.stabilized_gini,
+        final_gini=result.final_gini,
+        total_tax_collected=0.0 if collected is None else collected,
+        total_tax_rebated=0.0 if rebated is None else rebated,
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[table],
+        series=[gini_series],
+        metadata=metadata,
+    )
 
 
 def run(scale: str = Scale.DEFAULT, seed: int = 0) -> ExperimentResult:

@@ -29,10 +29,91 @@ from repro.p2psim.config import MarketSimConfig, UtilizationMode
 from repro.p2psim.market_sim import CreditMarketSimulator
 from repro.utils.records import ResultTable
 
-__all__ = ["run"]
+__all__ = ["run", "run_point"]
 
 EXPERIMENT_ID = "fig11"
 TITLE = "Fig. 11 — impact of peer dynamics on the skewness of the credit distribution"
+
+#: Parameters `run_point` accepts as sweep axes.
+SWEEP_PARAMS = ("mean_lifespan", "rate_factor", "arrival_rate", "num_peers", "horizon")
+
+
+def run_point(
+    scale: str = Scale.DEFAULT,
+    seed: int = 0,
+    mean_lifespan: float | None = None,
+    rate_factor: float = 1.0,
+    arrival_rate: float | None = None,
+    num_peers: int | None = None,
+    horizon: float | None = None,
+) -> ExperimentResult:
+    """Run one churn setting of the Fig. 11 study as a sweepable grid point.
+
+    ``mean_lifespan=None`` simulates the static overlay (no churn).  With a
+    lifespan, the arrival rate defaults to ``rate_factor × population /
+    mean_lifespan`` — ``rate_factor=1`` keeps the expected overlay size
+    equal to the static population — or can be fixed directly with
+    ``arrival_rate``.
+    """
+    params = scale_parameters(
+        scale,
+        smoke=dict(num_peers=60, initial_credits=20.0, horizon=500.0, step=2.0),
+        default=dict(num_peers=200, initial_credits=100.0, horizon=6000.0, step=2.5),
+        paper=dict(num_peers=1000, initial_credits=100.0, horizon=8000.0, step=1.0),
+    )
+    if num_peers is not None:
+        params["num_peers"] = int(num_peers)
+    if horizon is not None:
+        params["horizon"] = float(horizon)
+
+    if mean_lifespan is None:
+        if arrival_rate is not None:
+            raise ValueError(
+                "arrival_rate requires mean_lifespan (a static overlay has no arrivals)"
+            )
+        if float(rate_factor) != 1.0:
+            raise ValueError(
+                "rate_factor requires mean_lifespan (a static overlay has no arrivals)"
+            )
+        churn: Optional[ChurnConfig] = None
+        label = "static topology"
+        rate = 0.0
+    else:
+        mean_lifespan = float(mean_lifespan)
+        if arrival_rate is not None:
+            rate = float(arrival_rate)
+        else:
+            rate = float(rate_factor) * params["num_peers"] / mean_lifespan
+        churn = ChurnConfig(arrival_rate=rate, mean_lifespan=mean_lifespan)
+        label = f"lifespan={mean_lifespan:.0f}s, arr. rate={rate:.2g}/s"
+
+    outcome = _run_single(params, churn, label, seed)
+    metadata = dict(
+        params,
+        scale=str(scale),
+        seed=seed,
+        mean_lifespan=mean_lifespan,
+        arrival_rate=rate,
+        rate_factor=float(rate_factor),
+    )
+    table = ResultTable(title=TITLE, metadata=metadata)
+    table.add_row(
+        setting=label,
+        mean_lifespan=0.0 if mean_lifespan is None else mean_lifespan,
+        arrival_rate=rate,
+        stabilized_gini=outcome["stabilized_gini"],
+        final_gini=outcome["final_gini"],
+        final_population=outcome["final_population"],
+        joins=outcome["joins"],
+        leaves=outcome["leaves"],
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[table],
+        series=[outcome["series"]],
+        metadata=metadata,
+    )
 
 
 def _run_single(

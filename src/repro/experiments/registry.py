@@ -17,7 +17,15 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentResult, Scale
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "describe_experiments"]
+__all__ = [
+    "EXPERIMENTS",
+    "SWEEPS",
+    "get_experiment",
+    "get_sweep_runner",
+    "run_experiment",
+    "run_sweep_point",
+    "describe_experiments",
+]
 
 Runner = Callable[..., ExperimentResult]
 
@@ -73,6 +81,67 @@ EXPERIMENTS: Dict[str, Dict[str, object]] = {
         "section": "VI-E",
     },
 }
+
+
+# Parameterizable experiments: single-configuration "point" runners accepting
+# sweep axes as keyword arguments.  `repro.runner` shards these over workers.
+SWEEPS: Dict[str, Dict[str, object]] = {
+    "fig3": {
+        "runner": fig03_gini_vs_wealth.run_point,
+        "params": fig03_gini_vs_wealth.SWEEP_PARAMS,
+        "title": fig03_gini_vs_wealth.TITLE,
+    },
+    "fig9": {
+        "runner": fig09_taxation.run_point,
+        "params": fig09_taxation.SWEEP_PARAMS,
+        "title": fig09_taxation.TITLE,
+    },
+    "fig11": {
+        "runner": fig11_churn.run_point,
+        "params": fig11_churn.SWEEP_PARAMS,
+        "title": fig11_churn.TITLE,
+    },
+}
+
+
+def get_sweep_runner(experiment_id: str) -> Runner:
+    """Return the parameterizable point runner for ``experiment_id``.
+
+    Raises ``KeyError`` when the experiment exists but has no sweepable
+    point runner yet (only whole-figure replication is supported then).
+    """
+    try:
+        return SWEEPS[experiment_id]["runner"]  # type: ignore[return-value]
+    except KeyError as error:
+        known = ", ".join(sorted(SWEEPS))
+        raise KeyError(
+            f"experiment {experiment_id!r} is not sweepable; sweepable ids: {known}"
+        ) from error
+
+
+def run_sweep_point(
+    experiment_id: str,
+    config: Dict[str, object],
+    scale: str = Scale.DEFAULT,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run one sweep shard: a point runner with ``config`` as keyword axes.
+
+    An empty ``config`` runs the plain registry runner — the *whole*
+    registered experiment — so ``--reps`` replicates exactly what a plain
+    ``run`` executes; point runners are only used for explicit grid axes.
+    """
+    if not config:
+        return run_experiment(experiment_id, scale=scale, seed=seed)
+    runner = get_sweep_runner(experiment_id)
+    allowed = set(SWEEPS[experiment_id]["params"])  # type: ignore[arg-type]
+    unknown = sorted(set(config) - allowed)
+    if unknown:
+        raise KeyError(
+            f"unknown sweep parameter(s) {unknown} for {experiment_id!r}; "
+            f"sweepable parameters: {sorted(allowed)}"
+        )
+    return runner(scale=scale, seed=seed, **config)
 
 
 def get_experiment(experiment_id: str) -> Runner:

@@ -1,0 +1,217 @@
+"""Content-addressed on-disk artifact cache for sweep shards.
+
+Each executed shard is serialised to JSON and stored under a key that
+hashes **everything the result depends on**::
+
+    key = sha256(experiment_id, canonical_config, scale, seed, code_version)
+
+``code_version`` is a fingerprint of every ``*.py`` source file in the
+``repro`` package, so editing any library code invalidates the cache
+automatically, while re-running an identical sweep on identical code
+skips every shard ("warm cache executes zero simulation shards").
+
+Results pass through the same JSON round-trip whether they come from a
+worker process or from the cache, so a warm re-run is byte-identical to
+the cold run that populated it.
+
+Writes are atomic (temp file + ``os.replace``), which makes interrupted
+sweeps safely resumable: a killed run leaves only complete artifacts
+behind, and the next run re-executes exactly the missing shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+import repro
+from repro.experiments.common import ExperimentResult
+from repro.runner.grid import SweepTask, _jsonable
+from repro.utils.records import ResultRecord, ResultTable, SeriesRecord
+
+__all__ = [
+    "ArtifactCache",
+    "code_fingerprint",
+    "payload_to_result",
+    "result_to_payload",
+    "task_key",
+]
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Fingerprint of the installed ``repro`` package sources.
+
+    Hashes the relative path and contents of every ``*.py`` file under the
+    package directory, in sorted order.  Any source edit therefore changes
+    the fingerprint and invalidates previously cached artifacts.
+    """
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def task_key(task: SweepTask, code_version: Optional[str] = None) -> str:
+    """Content-addressed cache key for one sweep shard."""
+    if code_version is None:
+        code_version = code_fingerprint()
+    payload = json.dumps(
+        {
+            "experiment_id": task.experiment_id,
+            "config": json.loads(task.config_key()),
+            "scale": str(task.scale),
+            "seed": int(task.seed),
+            "code_version": code_version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def result_to_payload(result: ExperimentResult) -> Dict[str, object]:
+    """Serialise an :class:`ExperimentResult` to a JSON-safe dict."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "tables": [
+            {
+                "title": table.title,
+                "rows": [_jsonable(row.as_dict()) for row in table.rows],
+                "metadata": _jsonable(table.metadata),
+            }
+            for table in result.tables
+        ],
+        "series": [
+            {
+                "label": series.label,
+                "x": [float(value) for value in series.x],
+                "y": [float(value) for value in series.y],
+                "metadata": _jsonable(series.metadata),
+            }
+            for series in result.series
+        ],
+        "metadata": _jsonable(result.metadata),
+    }
+
+
+def payload_to_result(payload: Mapping[str, object]) -> ExperimentResult:
+    """Inverse of :func:`result_to_payload`."""
+    tables = [
+        ResultTable(
+            title=str(spec["title"]),
+            rows=[ResultRecord(dict(row)) for row in spec["rows"]],  # type: ignore[union-attr]
+            metadata=dict(spec.get("metadata") or {}),  # type: ignore[arg-type]
+        )
+        for spec in payload.get("tables", [])  # type: ignore[union-attr]
+    ]
+    series = [
+        SeriesRecord(
+            label=str(spec["label"]),
+            x=list(spec.get("x") or []),  # type: ignore[arg-type]
+            y=list(spec.get("y") or []),  # type: ignore[arg-type]
+            metadata=dict(spec.get("metadata") or {}),  # type: ignore[arg-type]
+        )
+        for spec in payload.get("series", [])  # type: ignore[union-attr]
+    ]
+    return ExperimentResult(
+        experiment_id=str(payload["experiment_id"]),
+        title=str(payload["title"]),
+        tables=tables,
+        series=series,
+        metadata=dict(payload.get("metadata") or {}),  # type: ignore[arg-type]
+    )
+
+
+class ArtifactCache:
+    """Content-addressed JSON artifact store rooted at a directory.
+
+    Artifacts live at ``root/<key[:2]>/<key>.json`` (two-level sharding
+    keeps directories small for large sweeps).  ``hits``/``misses``/
+    ``stores`` counters let callers report cache effectiveness.
+    """
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def root(self) -> Path:
+        """The cache's root directory."""
+        return self._root
+
+    def _path(self, key: str) -> Path:
+        return self._root / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        """Return whether an artifact is stored under ``key`` (no counter update)."""
+        return self._path(key).is_file()
+
+    def load(self, key: str) -> Optional[Dict[str, object]]:
+        """Return the payload stored under ``key``, or ``None`` on a miss.
+
+        A corrupt artifact (truncated write from a hard kill predating the
+        atomic-rename scheme, manual tampering) counts as a miss and is
+        removed so the shard re-executes.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Mapping[str, object]) -> Path:
+        """Atomically persist ``payload`` under ``key`` and return its path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Key order is preserved (no sort_keys): result-table column order is
+        # insertion order, and a cache round-trip must not reorder columns.
+        text = json.dumps(payload, separators=(",", ":"))
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(text)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        self.stores += 1
+        return path
+
+    def discard(self, key: str) -> bool:
+        """Remove the artifact stored under ``key``; returns whether one existed."""
+        path = self._path(key)
+        if path.is_file():
+            path.unlink()
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._root.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        """Return the ``hits``/``misses``/``stores`` counters as a dict."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

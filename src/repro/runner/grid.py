@@ -1,0 +1,358 @@
+"""Declarative parameter grids and sweep specifications.
+
+A sweep is described by a :class:`SweepSpec`: an experiment id, a
+:class:`ParamGrid` (or explicit list of configurations), a replication
+count and a base seed.  ``SweepSpec.tasks()`` expands the spec into the
+flat list of :class:`SweepTask` shards the executor distributes over
+workers.
+
+Determinism contract
+--------------------
+Each shard's seed is derived as::
+
+    derive_seed(base_seed, "sweep", experiment_id, canonical_config(config), replication)
+
+``canonical_config`` is a sorted-key JSON rendering of the configuration,
+so the seed depends only on the *content* of the configuration — not on
+its position in the grid, the worker that executes it, or the order in
+which shards complete.  Reordering grid axes, appending new
+configurations, or changing ``--jobs`` therefore never perturbs the
+random draws of existing shards (the same stream-stability property that
+:class:`repro.utils.rng.SeedSequenceFactory` gives in-process components).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.experiments.common import Scale
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "ParamGrid",
+    "SweepSpec",
+    "SweepTask",
+    "SCENARIOS",
+    "canonical_config",
+    "scenario",
+]
+
+
+def _jsonable(value: object) -> object:
+    """Coerce ``value`` to a JSON-serialisable equivalent (tuples, numpy scalars...)."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _jsonable(value.item())
+    if isinstance(value, Scale):
+        return value.value
+    return str(value)
+
+
+def _canonical_value(value: object) -> object:
+    """Like :func:`_jsonable`, but with numeric identity normalised.
+
+    Non-bool ints become floats so ``{"threshold": 50}`` (CLI-parsed) and
+    ``{"threshold": 50.0}`` (scenario bundle) are the *same* configuration
+    — identical seeds, identical cache artifacts.
+    """
+    value = _jsonable(value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return float(value)
+    if isinstance(value, list):
+        return [_canonical_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _canonical_value(item) for key, item in value.items()}
+    return value
+
+
+def canonical_config(config: Mapping[str, object]) -> str:
+    """Render ``config`` as canonical JSON (sorted keys, compact separators).
+
+    This string is the identity of a configuration: it feeds both the
+    per-shard seed derivation and the artifact-cache key, so two configs
+    with equal content always share seeds and cached results.  Numeric
+    values are normalised to float first, so ``50`` and ``50.0`` denote
+    the same configuration.
+    """
+    return json.dumps(
+        _canonical_value(dict(config)), sort_keys=True, separators=(",", ":")
+    )
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One executable shard of a sweep: a configuration × replication pair.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id of the (sweepable) experiment, e.g. ``"fig11"``.
+    config:
+        Parameter overrides for this grid point (may be empty for plain
+        multi-replication runs of a registered experiment).
+    config_index:
+        Position of the configuration in the expanded grid — used only to
+        order results deterministically, never for seed derivation.
+    replication:
+        Replication index in ``range(replications)``.
+    seed:
+        The shard's derived base seed (see the module docstring).
+    scale:
+        Reproduction scale preset passed to the runner.
+    """
+
+    experiment_id: str
+    config: Mapping[str, object]
+    config_index: int
+    replication: int
+    seed: int
+    scale: str = Scale.DEFAULT.value
+
+    def config_key(self) -> str:
+        """Canonical JSON identity of this shard's configuration."""
+        return canonical_config(self.config)
+
+    def to_payload(self) -> Dict[str, object]:
+        """Render the task as a plain JSON-safe dict (picklable for workers)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "config": dict(self.config),
+            "config_index": self.config_index,
+            "replication": self.replication,
+            "seed": self.seed,
+            "scale": str(self.scale),
+        }
+
+    @staticmethod
+    def from_payload(payload: Mapping[str, object]) -> "SweepTask":
+        """Inverse of :meth:`to_payload`."""
+        return SweepTask(
+            experiment_id=str(payload["experiment_id"]),
+            config=dict(payload["config"]),  # type: ignore[arg-type]
+            config_index=int(payload["config_index"]),  # type: ignore[arg-type]
+            replication=int(payload["replication"]),  # type: ignore[arg-type]
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            scale=str(payload["scale"]),
+        )
+
+
+class ParamGrid:
+    """A cartesian product of named parameter axes.
+
+    Axes expand in *insertion order* with the last axis varying fastest,
+    so the expansion order is deterministic and documentation-friendly.
+
+    Examples
+    --------
+    >>> grid = ParamGrid({"a": [1, 2], "b": ["x"]})
+    >>> grid.points()
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    >>> len(grid)
+    2
+    """
+
+    def __init__(self, axes: Optional[Mapping[str, Sequence[object]]] = None) -> None:
+        self._axes: Dict[str, List[object]] = {}
+        for name, values in (axes or {}).items():
+            self.add_axis(name, values)
+
+    def add_axis(self, name: str, values: Iterable[object]) -> "ParamGrid":
+        """Add (or replace) an axis; returns ``self`` for chaining."""
+        values = list(values)
+        if not values:
+            raise ValueError(f"axis {name!r} must have at least one value")
+        self._axes[str(name)] = values
+        return self
+
+    @property
+    def axes(self) -> Dict[str, List[object]]:
+        """A copy of the axis mapping."""
+        return {name: list(values) for name, values in self._axes.items()}
+
+    def points(self) -> List[Dict[str, object]]:
+        """Expand the cartesian product into a list of configuration dicts."""
+        if not self._axes:
+            return [{}]
+        names = list(self._axes)
+        combos = itertools.product(*(self._axes[name] for name in names))
+        return [dict(zip(names, combo)) for combo in combos]
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self._axes.values():
+            total *= len(values)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{name}={values!r}" for name, values in self._axes.items())
+        return f"ParamGrid({inner})"
+
+    @staticmethod
+    def _coerce(text: str) -> object:
+        """Parse a CLI axis value: int, then float, then bare string."""
+        for parser in (int, float):
+            try:
+                return parser(text)
+            except ValueError:
+                continue
+        return text
+
+    @classmethod
+    def parse(cls, specs: Iterable[str]) -> "ParamGrid":
+        """Build a grid from CLI-style ``name=v1,v2,...`` axis specs.
+
+        >>> ParamGrid.parse(["rate=0.1,0.2", "threshold=50"]).points()
+        [{'rate': 0.1, 'threshold': 50}, {'rate': 0.2, 'threshold': 50}]
+        """
+        grid = cls()
+        for spec in specs:
+            if "=" not in spec:
+                raise ValueError(f"parameter spec {spec!r} must look like name=v1,v2")
+            name, _, values = spec.partition("=")
+            name = name.strip()
+            parsed = [cls._coerce(part.strip()) for part in values.split(",") if part.strip()]
+            if not name or not parsed:
+                raise ValueError(f"parameter spec {spec!r} must look like name=v1,v2")
+            grid.add_axis(name, parsed)
+        return grid
+
+
+@dataclass
+class SweepSpec:
+    """A declarative sweep: experiment × configurations × replications.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id of the experiment to sweep.
+    grid:
+        A :class:`ParamGrid` or an explicit list of configuration dicts.
+        An empty grid yields the single empty configuration ``{}`` (a
+        plain multi-replication run of the registered experiment).
+    replications:
+        Number of independent replications per configuration.
+    base_seed:
+        Seed at the root of the per-shard derivation chain.
+    scale:
+        Reproduction scale preset forwarded to every shard.
+    name:
+        Optional human-readable sweep name (scenario bundles set it).
+    """
+
+    experiment_id: str
+    grid: object = field(default_factory=ParamGrid)
+    replications: int = 1
+    base_seed: int = 0
+    scale: str = Scale.DEFAULT.value
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError("replications must be at least 1")
+        self.scale = Scale(self.scale).value
+
+    def configs(self) -> List[Dict[str, object]]:
+        """The expanded list of configuration dicts, in deterministic order."""
+        if isinstance(self.grid, ParamGrid):
+            return self.grid.points()
+        return [dict(config) for config in self.grid]  # type: ignore[union-attr]
+
+    def tasks(self) -> List[SweepTask]:
+        """Expand into the flat ``(config × replication)`` shard list.
+
+        Shards are ordered by ``(config_index, replication)``; their seeds
+        follow the determinism contract in the module docstring.
+        """
+        tasks: List[SweepTask] = []
+        for config_index, config in enumerate(self.configs()):
+            key = canonical_config(config)
+            for replication in range(self.replications):
+                tasks.append(
+                    SweepTask(
+                        experiment_id=self.experiment_id,
+                        config=config,
+                        config_index=config_index,
+                        replication=replication,
+                        seed=derive_seed(
+                            self.base_seed, "sweep", self.experiment_id, key, replication
+                        ),
+                        scale=self.scale,
+                    )
+                )
+        return tasks
+
+    def describe(self) -> str:
+        """One-line human summary, e.g. ``fig11: 4 configs x 4 reps = 16 shards``."""
+        configs = len(self.configs())
+        shards = configs * self.replications
+        label = self.name or self.experiment_id
+        return (
+            f"{label}: {configs} config{'s' if configs != 1 else ''} x "
+            f"{self.replications} rep{'s' if self.replications != 1 else ''} "
+            f"= {shards} shard{'s' if shards != 1 else ''} "
+            f"(scale={self.scale}, base_seed={self.base_seed})"
+        )
+
+
+def _fig3_wealth_grid() -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig3",
+        grid=ParamGrid({"num_peers": [50, 100], "average_wealth": [5.0, 20.0, 60.0, 100.0]}),
+        name="fig3-wealth-grid",
+    )
+
+
+def _fig9_taxation_grid() -> SweepSpec:
+    # One explicit no-tax baseline ahead of the rate x threshold product:
+    # crossing tax_rate=0 with the thresholds would duplicate the same
+    # NoTax simulation under configs that differ only in an ignored knob.
+    configs = [{"tax_rate": 0.0}]
+    configs += ParamGrid({"tax_rate": [0.1, 0.2], "tax_threshold": [50.0, 80.0]}).points()
+    return SweepSpec(experiment_id="fig9", grid=configs, name="fig9-taxation-grid")
+
+
+def _fig11_churn_grid() -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig11",
+        grid=ParamGrid({"mean_lifespan": [500.0, 1000.0], "rate_factor": [1.0, 2.0]}),
+        name="fig11-churn-grid",
+    )
+
+
+#: Named scenario bundles — curated grids for the paper's sensitivity studies.
+SCENARIOS: Dict[str, Callable[[], SweepSpec]] = {
+    "fig3-wealth-grid": _fig3_wealth_grid,
+    "fig9-taxation-grid": _fig9_taxation_grid,
+    "fig11-churn-grid": _fig11_churn_grid,
+}
+
+
+def scenario(
+    name: str,
+    replications: Optional[int] = None,
+    base_seed: Optional[int] = None,
+    scale: Optional[str] = None,
+) -> SweepSpec:
+    """Instantiate a named scenario bundle, optionally overriding run knobs."""
+    try:
+        spec = SCENARIOS[name]()
+    except KeyError as error:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from error
+    if replications is not None:
+        spec.replications = replications
+    if base_seed is not None:
+        spec.base_seed = base_seed
+    if scale is not None:
+        spec.scale = Scale(scale).value
+    return spec

@@ -98,6 +98,14 @@ class TestSimulationExperiments:
             <= rows["without adjustment"]["stabilized_gini"] + 0.05
         )
 
+    def test_fig11_run_point_rejects_churn_params_without_lifespan(self):
+        from repro.experiments.fig11_churn import run_point
+
+        with pytest.raises(ValueError, match="mean_lifespan"):
+            run_point(scale="smoke", arrival_rate=0.5)
+        with pytest.raises(ValueError, match="mean_lifespan"):
+            run_point(scale="smoke", rate_factor=2.0)
+
     def test_fig11_churn_reduces_gini(self):
         result = run_experiment("fig11", scale="smoke", seed=2)
         table1 = result.table("Fig. 11(1)")

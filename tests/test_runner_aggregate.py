@@ -1,0 +1,83 @@
+"""Tests for cross-replication aggregation and the bootstrap CI helper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.runner import SweepSpec, aggregate_report, aggregate_sweep, bootstrap_ci
+from repro.runner.cache import result_to_payload
+from repro.runner.executor import ShardResult, SweepReport
+from repro.utils.records import ResultTable
+
+
+class TestBootstrapCI:
+    def test_deterministic_given_seed(self):
+        samples = [0.1, 0.4, 0.3, 0.2, 0.5]
+        assert bootstrap_ci(samples, seed=3) == bootstrap_ci(samples, seed=3)
+
+    def test_interval_brackets_mean_for_tight_samples(self):
+        samples = list(np.linspace(0.4, 0.6, 20))
+        low, high = bootstrap_ci(samples, seed=1)
+        assert low <= float(np.mean(samples)) <= high
+        assert 0.4 <= low <= high <= 0.6
+
+    def test_degenerate_cases(self):
+        assert bootstrap_ci([2.5]) == (2.5, 2.5)
+        with pytest.raises(ValueError, match="non-empty"):
+            bootstrap_ci([])
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ValueError, match="num_resamples"):
+            bootstrap_ci([1.0, 2.0], num_resamples=0)
+
+
+def _report(values_by_config):
+    """Build a synthetic SweepReport: one scalar metric per replication."""
+    configs = [{"level": level} for level in sorted(values_by_config)]
+    spec = SweepSpec("fig3", grid=configs, replications=3, base_seed=2, scale="smoke")
+    shards = []
+    for task in spec.tasks():
+        value = values_by_config[task.config["level"]][task.replication]
+        table = ResultTable(title="point")
+        table.add_row(setting=f"level={task.config['level']}", level=task.config["level"], gini=value)
+        result = ExperimentResult(experiment_id="fig3", title="point", tables=[table])
+        shards.append(ShardResult(task=task, payload=result_to_payload(result)))
+    return SweepReport(spec=spec, shards=shards, executed=len(shards), jobs=1)
+
+
+class TestAggregateSweep:
+    def test_mean_std_and_ci(self):
+        report = _report({1: [0.2, 0.3, 0.4], 2: [0.5, 0.6, 0.7]})
+        table = aggregate_sweep(report)
+        rows = {(row["level"], row["metric"]): row for row in table}
+        row = rows[(1, "gini")]
+        assert math.isclose(row["mean"], 0.3)
+        assert math.isclose(row["std"], 0.1)
+        assert row["ci_low"] < 0.3 < row["ci_high"]
+        assert row["boot_low"] <= row["mean"] <= row["boot_high"]
+        assert row["replications"] == 3
+        assert row["setting"] == "level=1"
+        assert math.isclose(rows[(2, "gini")]["mean"], 0.6)
+
+    def test_config_echo_columns_are_not_aggregated(self):
+        # A table column that just repeats a swept parameter must not become
+        # a metric row (mean/CI of a constant).
+        report = _report({1: [0.2, 0.3, 0.4], 2: [0.5, 0.6, 0.7]})
+        metrics = {row["metric"] for row in aggregate_sweep(report)}
+        assert metrics == {"gini"}
+
+    def test_deterministic_bootstrap_columns(self):
+        report = _report({1: [0.2, 0.3, 0.4]})
+        assert aggregate_sweep(report).to_csv() == aggregate_sweep(report).to_csv()
+
+    def test_aggregate_report_wraps_table_and_keeps_stats_out_of_it(self):
+        report = _report({1: [0.2, 0.3, 0.4]})
+        report.cached = 2
+        report.jobs = 4
+        result = aggregate_report(report)
+        assert result.metadata["cached"] == 2
+        assert result.metadata["jobs"] == 4
+        assert "jobs" not in result.table().columns()
+        assert "Sweep aggregate" in result.format()

@@ -1,0 +1,126 @@
+"""Tests for the content-addressed artifact cache and result serialization."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.runner import (
+    ArtifactCache,
+    SweepSpec,
+    code_fingerprint,
+    payload_to_result,
+    result_to_payload,
+    task_key,
+)
+from repro.utils.records import ResultTable, SeriesRecord
+
+
+def _task(**config):
+    spec = SweepSpec("fig3", grid=[config], replications=1, base_seed=1, scale="smoke")
+    return spec.tasks()[0]
+
+
+def _result():
+    table = ResultTable(title="t", metadata={"seed": 1})
+    table.add_row(setting="a", gini=0.5, count=3)
+    series = SeriesRecord(label="s", x=[0.0, 1.0], y=[0.1, 0.2], metadata={"k": "v"})
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Fig",
+        tables=[table],
+        series=[series],
+        metadata={"scale": "smoke"},
+    )
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        result = _result()
+        restored = payload_to_result(result_to_payload(result))
+        assert restored.experiment_id == result.experiment_id
+        assert restored.title == result.title
+        assert restored.metadata == result.metadata
+        assert restored.tables[0].title == "t"
+        assert restored.tables[0].rows[0].as_dict() == {"setting": "a", "gini": 0.5, "count": 3}
+        assert restored.tables[0].columns() == ["setting", "gini", "count"]
+        assert restored.series[0].label == "s"
+        assert restored.series[0].points() == [(0.0, 0.1), (1.0, 0.2)]
+
+    def test_payload_is_json_safe(self):
+        import numpy as np
+
+        table = ResultTable(title="t")
+        table.add_row(value=np.float64(0.25), count=np.int64(2), pair=(1, 2))
+        result = ExperimentResult(experiment_id="x", title="x", tables=[table])
+        text = json.dumps(result_to_payload(result))
+        restored = payload_to_result(json.loads(text))
+        assert restored.tables[0].rows[0].as_dict() == {"value": 0.25, "count": 2, "pair": [1, 2]}
+
+
+class TestTaskKey:
+    def test_key_is_stable(self):
+        assert task_key(_task(num_peers=30), "v1") == task_key(_task(num_peers=30), "v1")
+
+    def test_key_changes_with_config(self):
+        assert task_key(_task(num_peers=30), "v1") != task_key(_task(num_peers=31), "v1")
+
+    def test_key_changes_with_code_version(self):
+        # Editing library code must invalidate previously cached artifacts.
+        assert task_key(_task(num_peers=30), "v1") != task_key(_task(num_peers=30), "v2")
+
+    def test_key_changes_with_seed_and_scale(self):
+        base = _task(num_peers=30)
+        reseeded = SweepSpec(
+            "fig3", grid=[{"num_peers": 30}], replications=1, base_seed=2, scale="smoke"
+        ).tasks()[0]
+        rescaled = SweepSpec(
+            "fig3", grid=[{"num_peers": 30}], replications=1, base_seed=1, scale="default"
+        ).tasks()[0]
+        assert task_key(base, "v1") != task_key(reseeded, "v1")
+        assert task_key(base, "v1") != task_key(rescaled, "v1")
+
+    def test_code_fingerprint_is_hex_and_cached(self):
+        fingerprint = code_fingerprint()
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)
+        assert code_fingerprint() == fingerprint
+
+
+class TestArtifactCache:
+    def test_miss_then_store_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        key = task_key(_task(num_peers=30), "v1")
+        assert cache.load(key) is None
+        payload = result_to_payload(_result())
+        cache.store(key, payload)
+        assert cache.contains(key)
+        assert cache.load(key) == json.loads(json.dumps(payload))
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert len(cache) == 1
+
+    def test_corrupt_artifact_counts_as_miss_and_is_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = task_key(_task(num_peers=30), "v1")
+        cache.store(key, {"experiment_id": "x"})
+        path = cache.root / key[:2] / f"{key}.json"
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.load(key) is None
+        assert not path.exists()
+
+    def test_discard(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = task_key(_task(num_peers=30), "v1")
+        assert not cache.discard(key)
+        cache.store(key, {"experiment_id": "x"})
+        assert cache.discard(key)
+        assert not cache.contains(key)
+
+    def test_store_round_trip_preserves_column_order(self, tmp_path):
+        # Regression: artifacts must not be stored with sorted keys, or a
+        # warm-cache run would reorder table columns vs. the cold run.
+        cache = ArtifactCache(tmp_path)
+        payload = result_to_payload(_result())
+        cache.store("ab" * 32, payload)
+        restored = payload_to_result(cache.load("ab" * 32))
+        assert restored.tables[0].columns() == ["setting", "gini", "count"]
