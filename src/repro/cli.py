@@ -9,16 +9,22 @@ Usage::
     python -m repro.cli sweep fig9-taxation-grid --reps 4 --jobs 4
     python -m repro.cli sweep fig11 --param mean_lifespan=500,1000 \
         --param rate_factor=1,2 --reps 4 --jobs 4 --cache-dir .repro-cache
+    python -m repro.cli sweep fig1 --param initial_credits=12,200 \
+        --param pricing_model=uniform,poisson-seller --scale smoke
+    python -m repro.cli sweep fig7-paper --reps 4 --jobs 0 --cache-dir .repro-cache
 
-``list`` prints every registered experiment (and sweep scenario) with its
-paper section; ``run`` executes one experiment — with ``--reps > 1`` it
-replicates the whole experiment over independent seeds through the
-``repro.runner`` orchestrator and prints the cross-replication aggregate
-(``--jobs``/``--cache-dir`` route a single run through the orchestrator
-too, printing the experiment's own tables); ``sweep`` runs a
-parameter grid (a named scenario bundle or ad-hoc ``--param`` axes)
-sharded over worker processes, with optional artifact caching so
-interrupted or repeated sweeps skip completed shards.
+``list`` prints every registered experiment with its paper section, the
+sweep axes each experiment's point runner accepts, and the named scenario
+bundles (including one ``figN-paper`` bundle per figure at the paper's
+populations and horizons); ``run`` executes one experiment — with
+``--reps > 1`` it replicates the whole experiment over independent seeds
+through the ``repro.runner`` orchestrator and prints the
+cross-replication aggregate (``--jobs``/``--cache-dir`` route a single
+run through the orchestrator too, printing the experiment's own tables);
+``sweep`` runs a parameter grid (a named scenario bundle or ad-hoc
+``--param`` axes, validated against the experiment's declared axes before
+anything executes) sharded over worker processes, with optional artifact
+caching so interrupted or repeated sweeps skip completed shards.
 """
 
 from __future__ import annotations
@@ -105,8 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--scale",
         choices=[scale.value for scale in Scale],
-        default=Scale.DEFAULT.value,
-        help="reproduction scale (default: %(default)s)",
+        default=None,
+        help=(
+            "reproduction scale; a named scenario keeps its pinned scale "
+            "(e.g. figN-paper bundles run at paper scale) unless this is "
+            "given, ad-hoc sweeps default to 'default'"
+        ),
     )
     sweep_parser.add_argument("--seed", type=int, default=0, help="sweep base seed")
     sweep_parser.add_argument(
@@ -117,12 +127,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_list() -> int:
+    from repro.experiments import SWEEPS, sweep_params
     from repro.runner import SCENARIOS
 
     rows = describe_experiments()
     width = max(len(row["id"]) for row in rows)
     for row in rows:
         print(f"{row['id']:<{width}}  [Sec. {row['section']}]  {row['title']}")
+    print("\nsweep axes (use with `sweep <id> --param NAME=V1,V2`):")
+    for experiment_id in sorted(SWEEPS):
+        axes = ", ".join(sweep_params(experiment_id))
+        print(f"  {experiment_id:<{width}}  {axes}")
     print("\nsweep scenarios:")
     for name in sorted(SCENARIOS):
         print(f"  {name}  ({SCENARIOS[name]().describe()})")
@@ -154,15 +169,18 @@ def _run_orchestrated(
     cache = ArtifactCache(cache_dir) if cache_dir else None
     try:
         report = run_sweep(spec, jobs=jobs, cache=cache, progress=print)
+        print(report.describe())
+        print()
+        if reps == 1:
+            # A single replication is a plain run (with caching/workers);
+            # print the experiment's own tables rather than a degenerate
+            # aggregate.
+            return _emit_result(report.shards[0].result(), csv_path)
+        # Aggregation can reject a sweep too (ragged replications), so it
+        # stays inside the try: clean stderr + exit 2, not a traceback.
+        return _emit_result(aggregate_report(report), csv_path)
     except (KeyError, ValueError) as error:
         return _print_error(error)
-    print(report.describe())
-    print()
-    if reps == 1:
-        # A single replication is a plain run (with caching/workers); print
-        # the experiment's own tables rather than a degenerate aggregate.
-        return _emit_result(report.shards[0].result(), csv_path)
-    return _emit_result(aggregate_report(report), csv_path)
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -178,43 +196,58 @@ def _command_run(args: argparse.Namespace) -> int:
     return _emit_result(result, args.csv)
 
 
+def _build_sweep_spec(args: argparse.Namespace):
+    """Build (and validate) the SweepSpec for a parsed ``sweep`` invocation.
+
+    Raises ``KeyError``/``ValueError`` for unknown targets, malformed or
+    unknown ``--param`` axes.  ``--scale`` is tri-state: ``None`` keeps a
+    named scenario's pinned scale (the figN-paper bundles pin ``paper``)
+    and means ``default`` for ad-hoc experiment-id sweeps.
+    """
+    from repro.experiments import validate_sweep_config
+    from repro.runner import SCENARIOS, ParamGrid, SweepSpec, scenario
+
+    if args.target in SCENARIOS:
+        spec = scenario(
+            args.target, replications=args.reps, base_seed=args.seed, scale=args.scale
+        )
+        if args.param:
+            spec.grid = ParamGrid.parse(args.param)
+    else:
+        spec = SweepSpec(
+            args.target,
+            grid=ParamGrid.parse(args.param),
+            replications=args.reps,
+            base_seed=args.seed,
+            scale=args.scale or Scale.DEFAULT.value,
+        )
+    # Fail fast on a typo'd experiment id or axis name: validating here
+    # surfaces one clean error instead of a per-shard failure from
+    # inside a worker process.  (An empty grid's single {} config is a
+    # whole-experiment replication and carries no axes to validate.)
+    axis_names = {name for config in spec.configs() for name in config}
+    if axis_names:
+        validate_sweep_config(spec.experiment_id, axis_names)
+    return spec
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
-    from repro.runner import (
-        SCENARIOS,
-        ArtifactCache,
-        ParamGrid,
-        SweepSpec,
-        aggregate_report,
-        run_sweep,
-        scenario,
-    )
+    from repro.runner import ArtifactCache, aggregate_report, run_sweep
 
     try:
-        if args.target in SCENARIOS:
-            spec = scenario(
-                args.target, replications=args.reps, base_seed=args.seed, scale=args.scale
-            )
-            if args.param:
-                spec.grid = ParamGrid.parse(args.param)
-        else:
-            spec = SweepSpec(
-                args.target,
-                grid=ParamGrid.parse(args.param),
-                replications=args.reps,
-                base_seed=args.seed,
-                scale=args.scale,
-            )
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 2
+        spec = _build_sweep_spec(args)
+    except (KeyError, ValueError) as error:
+        return _print_error(error)
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
     try:
         report = run_sweep(spec, jobs=args.jobs, cache=cache, progress=print)
+        print(report.describe())
+        print()
+        # Aggregation can reject a sweep too (ragged replications), so it
+        # stays inside the try: clean stderr + exit 2, not a traceback.
+        return _emit_result(aggregate_report(report), args.csv)
     except (KeyError, ValueError) as error:
         return _print_error(error)
-    print(report.describe())
-    print()
-    return _emit_result(aggregate_report(report), args.csv)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

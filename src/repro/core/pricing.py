@@ -99,6 +99,10 @@ class UniformPricing(PricingScheme):
 class PerPeerFlatPricing(PricingScheme):
     """Each seller posts a single flat per-chunk price.
 
+    Individual prices may be zero (a seller that gives chunks away and
+    earns nothing — Poisson-distributed price vectors with a mean of
+    1 credit contain such sellers), but never negative.
+
     Parameters
     ----------
     prices:
@@ -111,14 +115,14 @@ class PerPeerFlatPricing(PricingScheme):
         self.default_price = check_positive(default_price, "default_price")
         self._prices: Dict[int, float] = {}
         for seller, value in prices.items():
-            self._prices[int(seller)] = check_positive(value, f"price of seller {seller}")
+            self._prices[int(seller)] = check_non_negative(value, f"price of seller {seller}")
 
     def price(self, seller_id: int, chunk_index: int, buyer_id: Optional[int] = None) -> float:
         return self._prices.get(int(seller_id), self.default_price)
 
     def set_price(self, seller_id: int, value: float) -> None:
         """Update one seller's posted price."""
-        self._prices[int(seller_id)] = check_positive(value, "value")
+        self._prices[int(seller_id)] = check_non_negative(value, "value")
 
     def mean_price(self) -> float:
         if not self._prices:

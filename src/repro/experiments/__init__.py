@@ -27,6 +27,8 @@ from repro.experiments.registry import (
     get_sweep_runner,
     run_experiment,
     run_sweep_point,
+    sweep_params,
+    validate_sweep_config,
 )
 
 __all__ = [
@@ -40,4 +42,6 @@ __all__ = [
     "get_sweep_runner",
     "run_experiment",
     "run_sweep_point",
+    "sweep_params",
+    "validate_sweep_config",
 ]

@@ -34,10 +34,66 @@ from repro.experiments.common import ExperimentResult, Scale, scale_parameters
 from repro.queueing.approximations import symmetric_marginal_pmf
 from repro.utils.records import ResultTable, SeriesRecord
 
-__all__ = ["run", "exact_symmetric_marginal_pmf"]
+__all__ = ["run", "run_point", "exact_symmetric_marginal_pmf"]
 
 EXPERIMENT_ID = "fig2"
 TITLE = "Fig. 2 — Lorenz curves of the equilibrium wealth marginal (Eq. 8 vs exact)"
+
+#: Parameters `run_point` accepts as sweep axes.
+SWEEP_PARAMS = ("total_credits", "num_peers")
+
+
+def _combination_outcome(total_jobs: int, num_peers: int):
+    """Lorenz series and Gini row for one ``(M, N)`` combination."""
+    label = f"M={total_jobs}, N={num_peers}"
+    approx = symmetric_marginal_pmf(num_peers, total_jobs)
+    exact = exact_symmetric_marginal_pmf(num_peers, total_jobs)
+    series = []
+    for kind, pmf in (("eq8", approx), ("exact", exact)):
+        population, wealth = lorenz_curve_from_pmf(pmf)
+        curve = SeriesRecord(label=f"{label} ({kind})")
+        step = max(1, len(population) // 200)
+        for x, y in zip(population[::step], wealth[::step]):
+            curve.append(float(x), float(y))
+        curve.append(float(population[-1]), float(wealth[-1]))
+        series.append(curve)
+    row = dict(
+        combination=label,
+        total_credits_M=total_jobs,
+        num_peers_N=num_peers,
+        average_wealth_c=total_jobs / num_peers,
+        gini_eq8=gini_from_pmf(approx),
+        gini_exact=gini_from_pmf(exact),
+    )
+    return series, row
+
+
+def run_point(
+    scale: str = Scale.DEFAULT,
+    seed: int = 0,
+    total_credits: int = 2000,
+    num_peers: int = 100,
+) -> ExperimentResult:
+    """Evaluate a single ``(M, N)`` combination of Fig. 2 as a sweep shard.
+
+    The computation is fully analytic (no RNG); ``seed`` is accepted for
+    interface uniformity only, so replications of a point are identical.
+    """
+    total_credits = int(round(float(total_credits)))
+    num_peers = int(num_peers)
+    metadata = dict(
+        scale=str(scale), seed=seed, total_credits=total_credits, num_peers=num_peers
+    )
+    series, row = _combination_outcome(total_credits, num_peers)
+    table = ResultTable(title=TITLE, metadata=metadata)
+    table.add_row(**row)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[table],
+        series=series,
+        metadata=metadata,
+    )
 
 
 def exact_symmetric_marginal_pmf(num_peers: int, total_jobs: int) -> np.ndarray:
@@ -80,25 +136,9 @@ def run(scale: str = Scale.DEFAULT, seed: int = 0) -> ExperimentResult:
     table = ResultTable(title=TITLE, metadata=dict(scale=str(scale)))
     series = []
     for total_jobs, num_peers in params["combinations"]:
-        label = f"M={total_jobs}, N={num_peers}"
-        approx = symmetric_marginal_pmf(num_peers, total_jobs)
-        exact = exact_symmetric_marginal_pmf(num_peers, total_jobs)
-        for kind, pmf in (("eq8", approx), ("exact", exact)):
-            population, wealth = lorenz_curve_from_pmf(pmf)
-            curve = SeriesRecord(label=f"{label} ({kind})")
-            step = max(1, len(population) // 200)
-            for x, y in zip(population[::step], wealth[::step]):
-                curve.append(float(x), float(y))
-            curve.append(float(population[-1]), float(wealth[-1]))
-            series.append(curve)
-        table.add_row(
-            combination=label,
-            total_credits_M=total_jobs,
-            num_peers_N=num_peers,
-            average_wealth_c=total_jobs / num_peers,
-            gini_eq8=gini_from_pmf(approx),
-            gini_exact=gini_from_pmf(exact),
-        )
+        combo_series, row = _combination_outcome(total_jobs, num_peers)
+        series.extend(combo_series)
+        table.add_row(**row)
 
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,

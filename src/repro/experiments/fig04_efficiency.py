@@ -21,10 +21,62 @@ from repro.experiments.common import ExperimentResult, Scale, scale_parameters
 from repro.queueing.closed import ClosedJacksonNetwork
 from repro.utils.records import ResultTable, SeriesRecord
 
-__all__ = ["run"]
+__all__ = ["run", "run_point"]
 
 EXPERIMENT_ID = "fig4"
 TITLE = "Fig. 4 — exchange efficiency 1 - Q{B_i = 0} vs average wealth c"
+
+#: Parameters `run_point` accepts as sweep axes.
+SWEEP_PARAMS = ("average_wealth", "num_peers", "buzen_peers")
+
+
+def _efficiency_row(wealth: float, num_peers: int, buzen_peers: int) -> dict:
+    """The three efficiency estimates at one average wealth ``c``."""
+    total = int(round(wealth * num_peers))
+    buzen_total = int(round(wealth * buzen_peers))
+    network = ClosedJacksonNetwork([1.0] * buzen_peers, buzen_total)
+    return dict(
+        average_wealth_c=float(wealth),
+        efficiency_eq9=exchange_efficiency(float(wealth)),
+        efficiency_finite_N=exact_exchange_efficiency(num_peers, total),
+        efficiency_exact_jackson=float(network.relative_throughput(0)),
+    )
+
+
+def run_point(
+    scale: str = Scale.DEFAULT,
+    seed: int = 0,
+    average_wealth: float = 1.0,
+    num_peers: int | None = None,
+    buzen_peers: int | None = None,
+) -> ExperimentResult:
+    """Evaluate Eq. 9 and its exact references at a single wealth ``c``.
+
+    Fully analytic (``seed`` is accepted for interface uniformity);
+    ``num_peers``/``buzen_peers`` default to the scale preset.
+    """
+    params = scale_parameters(
+        scale,
+        smoke=dict(num_peers=20, buzen_peers=10),
+        default=dict(num_peers=1000, buzen_peers=50),
+        paper=dict(num_peers=1000, buzen_peers=100),
+    )
+    if num_peers is not None:
+        params["num_peers"] = int(num_peers)
+    if buzen_peers is not None:
+        params["buzen_peers"] = int(buzen_peers)
+    average_wealth = float(average_wealth)
+
+    metadata = dict(params, scale=str(scale), seed=seed, average_wealth=average_wealth)
+    table = ResultTable(title=TITLE, metadata=metadata)
+    table.add_row(**_efficiency_row(average_wealth, params["num_peers"], params["buzen_peers"]))
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[table],
+        series=[],
+        metadata=metadata,
+    )
 
 
 def run(scale: str = Scale.DEFAULT, seed: int = 0) -> ExperimentResult:
@@ -52,21 +104,11 @@ def run(scale: str = Scale.DEFAULT, seed: int = 0) -> ExperimentResult:
     curve_buzen = SeriesRecord(label=f"exact P(B_i > 0), N={buzen_peers}")
 
     for wealth in params["wealth_levels"]:
-        total = int(round(wealth * num_peers))
-        approx = exchange_efficiency(float(wealth))
-        finite = exact_exchange_efficiency(num_peers, total)
-        buzen_total = int(round(wealth * buzen_peers))
-        network = ClosedJacksonNetwork([1.0] * buzen_peers, buzen_total)
-        buzen_value = float(network.relative_throughput(0))
-        curve_eq9.append(float(wealth), approx)
-        curve_exact_n.append(float(wealth), finite)
-        curve_buzen.append(float(wealth), buzen_value)
-        table.add_row(
-            average_wealth_c=float(wealth),
-            efficiency_eq9=approx,
-            efficiency_finite_N=finite,
-            efficiency_exact_jackson=buzen_value,
-        )
+        row = _efficiency_row(float(wealth), num_peers, buzen_peers)
+        curve_eq9.append(float(wealth), row["efficiency_eq9"])
+        curve_exact_n.append(float(wealth), row["efficiency_finite_N"])
+        curve_buzen.append(float(wealth), row["efficiency_exact_jackson"])
+        table.add_row(**row)
 
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,

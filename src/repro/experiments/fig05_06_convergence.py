@@ -26,10 +26,13 @@ from repro.p2psim.config import MarketSimConfig, UtilizationMode
 from repro.p2psim.market_sim import CreditMarketSimulator
 from repro.utils.records import ResultTable, SeriesRecord
 
-__all__ = ["run", "profile_distance"]
+__all__ = ["run", "run_point", "profile_distance"]
 
 EXPERIMENT_ID = "fig5_6"
 TITLE = "Figs. 5-6 — convergence of the credit distribution (early vs late profiles)"
+
+#: Parameters `run_point` accepts as sweep axes.
+SWEEP_PARAMS = ("num_peers", "horizon", "initial_credits", "num_snapshots")
 
 
 def profile_distance(profiles: List[np.ndarray]) -> float:
@@ -45,8 +48,22 @@ def profile_distance(profiles: List[np.ndarray]) -> float:
     return float(np.mean(distances)) if distances else 0.0
 
 
-def run(scale: str = Scale.DEFAULT, seed: int = 0) -> ExperimentResult:
-    """Run the symmetric-utilization market and compare early vs late wealth profiles."""
+def run_point(
+    scale: str = Scale.DEFAULT,
+    seed: int = 0,
+    num_peers: int | None = None,
+    horizon: float | None = None,
+    initial_credits: float | None = None,
+    num_snapshots: int | None = None,
+) -> ExperimentResult:
+    """Run one convergence study as a sweep shard.
+
+    The sweep axes are the convergence horizon and the population (plus
+    initial wealth and snapshot count); each defaults to the scale preset.
+    Sweeping ``horizon`` reproduces the paper's early/late contrast at
+    several observation windows, sweeping ``num_peers`` its size
+    sensitivity.
+    """
     params = scale_parameters(
         scale,
         smoke=dict(num_peers=60, horizon=600.0, step=2.0, initial_credits=20.0, num_snapshots=3),
@@ -57,6 +74,14 @@ def run(scale: str = Scale.DEFAULT, seed: int = 0) -> ExperimentResult:
             num_peers=1000, horizon=40000.0, step=2.0, initial_credits=100.0, num_snapshots=5
         ),
     )
+    if num_peers is not None:
+        params["num_peers"] = int(num_peers)
+    if horizon is not None:
+        params["horizon"] = float(horizon)
+    if initial_credits is not None:
+        params["initial_credits"] = float(initial_credits)
+    if num_snapshots is not None:
+        params["num_snapshots"] = int(num_snapshots)
 
     horizon = params["horizon"]
     count = params["num_snapshots"]
@@ -115,3 +140,8 @@ def run(scale: str = Scale.DEFAULT, seed: int = 0) -> ExperimentResult:
         series=series,
         metadata=dict(params, scale=str(scale), seed=seed),
     )
+
+
+def run(scale: str = Scale.DEFAULT, seed: int = 0) -> ExperimentResult:
+    """Run the symmetric-utilization market and compare early vs late wealth profiles."""
+    return run_point(scale=scale, seed=seed)

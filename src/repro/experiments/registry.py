@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List
 
 from repro.experiments import (
     fig01_spending_rates,
@@ -22,8 +22,11 @@ __all__ = [
     "SWEEPS",
     "get_experiment",
     "get_sweep_runner",
+    "normalize_sweep_config",
     "run_experiment",
     "run_sweep_point",
+    "sweep_params",
+    "validate_sweep_config",
     "describe_experiments",
 ]
 
@@ -85,16 +88,53 @@ EXPERIMENTS: Dict[str, Dict[str, object]] = {
 
 # Parameterizable experiments: single-configuration "point" runners accepting
 # sweep axes as keyword arguments.  `repro.runner` shards these over workers.
+# Every experiment id in EXPERIMENTS has an entry here, so all eleven figures
+# are drivable through the cached, parallel sweep path.
 SWEEPS: Dict[str, Dict[str, object]] = {
+    "fig1": {
+        "runner": fig01_spending_rates.run_point,
+        "params": fig01_spending_rates.SWEEP_PARAMS,
+        "title": fig01_spending_rates.TITLE,
+    },
+    "fig2": {
+        "runner": fig02_lorenz.run_point,
+        "params": fig02_lorenz.SWEEP_PARAMS,
+        "title": fig02_lorenz.TITLE,
+    },
     "fig3": {
         "runner": fig03_gini_vs_wealth.run_point,
         "params": fig03_gini_vs_wealth.SWEEP_PARAMS,
         "title": fig03_gini_vs_wealth.TITLE,
     },
+    "fig4": {
+        "runner": fig04_efficiency.run_point,
+        "params": fig04_efficiency.SWEEP_PARAMS,
+        "title": fig04_efficiency.TITLE,
+    },
+    "fig5_6": {
+        "runner": fig05_06_convergence.run_point,
+        "params": fig05_06_convergence.SWEEP_PARAMS,
+        "title": fig05_06_convergence.TITLE,
+    },
+    "fig7": {
+        "runner": fig07_08_gini_evolution.run_point_symmetric,
+        "params": fig07_08_gini_evolution.SWEEP_PARAMS,
+        "title": fig07_08_gini_evolution.TITLE_SYMMETRIC,
+    },
+    "fig8": {
+        "runner": fig07_08_gini_evolution.run_point_asymmetric,
+        "params": fig07_08_gini_evolution.SWEEP_PARAMS,
+        "title": fig07_08_gini_evolution.TITLE_ASYMMETRIC,
+    },
     "fig9": {
         "runner": fig09_taxation.run_point,
         "params": fig09_taxation.SWEEP_PARAMS,
         "title": fig09_taxation.TITLE,
+    },
+    "fig10": {
+        "runner": fig10_dynamic_spending.run_point,
+        "params": fig10_dynamic_spending.SWEEP_PARAMS,
+        "title": fig10_dynamic_spending.TITLE,
     },
     "fig11": {
         "runner": fig11_churn.run_point,
@@ -119,6 +159,77 @@ def get_sweep_runner(experiment_id: str) -> Runner:
         ) from error
 
 
+def _normalize_fig9(config: Dict[str, object]) -> Dict[str, object]:
+    # tax_rate <= 0 means no taxation: the threshold is an ignored knob and
+    # must not differentiate configurations (seeds, cache keys, rows).  An
+    # absent tax_rate falls back to the point runner's default of 0.0 —
+    # a threshold-only sweep is a no-tax sweep too.
+    rate = config.get("tax_rate", 0.0)
+    if isinstance(rate, (int, float)) and float(rate) <= 0.0 and "tax_threshold" in config:
+        config = dict(config)
+        del config["tax_threshold"]
+        # Keep the no-tax point explicit: an empty config would replicate
+        # the whole figure instead of running the single no-tax setting.
+        config["tax_rate"] = float(rate)
+    return config
+
+
+def _normalize_fig10(config: Dict[str, object]) -> Dict[str, object]:
+    # The wealth threshold only exists for the dynamic policy.
+    if config.get("spending_policy") == "fixed" and "wealth_threshold" in config:
+        config = dict(config)
+        del config["wealth_threshold"]
+    return config
+
+
+#: Per-experiment config normalizers: drop knobs that the point runner
+#: ignores for the given configuration, so configurations that simulate
+#: identically share one identity (same derived seed, same cache artifact,
+#: same aggregate row) instead of masquerading as distinct grid points.
+NORMALIZERS: Dict[str, Callable[[Dict[str, object]], Dict[str, object]]] = {
+    "fig9": _normalize_fig9,
+    "fig10": _normalize_fig10,
+}
+
+
+def normalize_sweep_config(experiment_id: str, config: Dict[str, object]) -> Dict[str, object]:
+    """Drop ignored knobs from ``config`` for ``experiment_id``.
+
+    Unknown experiments (and experiments without a registered normalizer)
+    pass through unchanged.
+    """
+    normalizer = NORMALIZERS.get(experiment_id)
+    if normalizer is None:
+        return dict(config)
+    return normalizer(dict(config))
+
+
+def sweep_params(experiment_id: str) -> tuple:
+    """The sweep axes a sweepable experiment's point runner accepts.
+
+    Raises the same "not sweepable" ``KeyError`` as :func:`get_sweep_runner`
+    for unknown ids.
+    """
+    get_sweep_runner(experiment_id)
+    return tuple(SWEEPS[experiment_id]["params"])  # type: ignore[arg-type]
+
+
+def validate_sweep_config(experiment_id: str, names: Iterable[str]) -> None:
+    """Check that every name in ``names`` is a sweep axis of ``experiment_id``.
+
+    Raises ``KeyError`` for an unknown experiment or an unknown axis — the
+    CLI calls this before expanding a grid so a typo fails fast instead of
+    surfacing from inside a worker process.
+    """
+    allowed = set(sweep_params(experiment_id))
+    unknown = sorted(set(names) - allowed)
+    if unknown:
+        raise KeyError(
+            f"unknown sweep parameter(s) {unknown} for {experiment_id!r}; "
+            f"sweepable parameters: {sorted(allowed)}"
+        )
+
+
 def run_sweep_point(
     experiment_id: str,
     config: Dict[str, object],
@@ -134,13 +245,7 @@ def run_sweep_point(
     if not config:
         return run_experiment(experiment_id, scale=scale, seed=seed)
     runner = get_sweep_runner(experiment_id)
-    allowed = set(SWEEPS[experiment_id]["params"])  # type: ignore[arg-type]
-    unknown = sorted(set(config) - allowed)
-    if unknown:
-        raise KeyError(
-            f"unknown sweep parameter(s) {unknown} for {experiment_id!r}; "
-            f"sweepable parameters: {sorted(allowed)}"
-        )
+    validate_sweep_config(experiment_id, config)
     return runner(scale=scale, seed=seed, **config)
 
 

@@ -88,6 +88,12 @@ def aggregate_sweep(
     ``boot_low``/``boot_high`` (percentile bootstrap).  Non-numeric cells
     of the underlying row (e.g. a ``setting`` label) are carried through
     from the first replication as identifying columns.
+
+    Replications of one configuration must agree on their table row count;
+    ragged replications raise ``ValueError`` instead of being silently
+    truncated to the shortest table.  Configurations whose replications all
+    produced no tables are recorded under the aggregate's
+    ``configs_without_tables`` metadata key.
     """
     spec = report.spec
     configs = spec.configs()
@@ -111,8 +117,27 @@ def aggregate_sweep(
         results = [shard.result() for shard in shards]
         config_key = shards[0].task.config_key()
         first_tables = [result.tables[0] if result.tables else None for result in results]
+        # Ragged replications are a bug upstream (a point runner whose row
+        # count depends on the seed); truncating to the first replication's
+        # rows would silently bias the aggregate, so refuse instead.
+        row_counts = [None if t is None else len(t.rows) for t in first_tables]
+        distinct = set(row_counts)
+        if len(distinct) > 1:
+            detail = ", ".join(
+                f"replication {shard.task.replication}: "
+                + ("no tables" if count is None else f"{count} rows")
+                for shard, count in zip(shards, row_counts)
+            )
+            raise ValueError(
+                f"ragged replications for config {config_key} of "
+                f"{spec.experiment_id!r}: table row counts differ across "
+                f"replications ({detail})"
+            )
         reference = first_tables[0]
         if reference is None:
+            # Every replication of this config produced no tables; note it in
+            # the aggregate's metadata instead of dropping the config silently.
+            table.metadata.setdefault("configs_without_tables", []).append(config_key)
             continue
         for row_index, reference_row in enumerate(reference.rows):
             labels = {
@@ -127,8 +152,8 @@ def aggregate_sweep(
                     continue
                 values: List[float] = []
                 for shard_table in first_tables:
-                    if shard_table is None or row_index >= len(shard_table.rows):
-                        continue
+                    # Row counts were validated equal above, so every
+                    # replication has this row.
                     value = _numeric(shard_table.rows[row_index].get(column))
                     if value is not None:
                         values.append(value)

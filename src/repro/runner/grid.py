@@ -262,10 +262,31 @@ class SweepSpec:
         self.scale = Scale(self.scale).value
 
     def configs(self) -> List[Dict[str, object]]:
-        """The expanded list of configuration dicts, in deterministic order."""
+        """The expanded list of configuration dicts, in deterministic order.
+
+        Each configuration is normalized through the experiment registry
+        (knobs the point runner ignores for that configuration are dropped,
+        e.g. fig10's ``wealth_threshold`` under the fixed policy), and
+        configurations whose normalized content coincides are deduplicated
+        keeping the first occurrence — two grid points that would simulate
+        identically never run (or cache, or report) twice.
+        """
+        from repro.experiments.registry import normalize_sweep_config
+
         if isinstance(self.grid, ParamGrid):
-            return self.grid.points()
-        return [dict(config) for config in self.grid]  # type: ignore[union-attr]
+            raw = self.grid.points()
+        else:
+            raw = [dict(config) for config in self.grid]  # type: ignore[union-attr]
+        configs: List[Dict[str, object]] = []
+        seen = set()
+        for config in raw:
+            config = normalize_sweep_config(self.experiment_id, config)
+            key = canonical_config(config)
+            if key in seen:
+                continue
+            seen.add(key)
+            configs.append(config)
+        return configs
 
     def tasks(self) -> List[SweepTask]:
         """Expand into the flat ``(config × replication)`` shard list.
@@ -312,13 +333,19 @@ def _fig3_wealth_grid() -> SweepSpec:
     )
 
 
-def _fig9_taxation_grid() -> SweepSpec:
+def _fig9_taxation_configs() -> List[Dict[str, object]]:
     # One explicit no-tax baseline ahead of the rate x threshold product:
     # crossing tax_rate=0 with the thresholds would duplicate the same
     # NoTax simulation under configs that differ only in an ignored knob.
-    configs = [{"tax_rate": 0.0}]
+    configs: List[Dict[str, object]] = [{"tax_rate": 0.0}]
     configs += ParamGrid({"tax_rate": [0.1, 0.2], "tax_threshold": [50.0, 80.0]}).points()
-    return SweepSpec(experiment_id="fig9", grid=configs, name="fig9-taxation-grid")
+    return configs
+
+
+def _fig9_taxation_grid() -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig9", grid=_fig9_taxation_configs(), name="fig9-taxation-grid"
+    )
 
 
 def _fig11_churn_grid() -> SweepSpec:
@@ -329,11 +356,145 @@ def _fig11_churn_grid() -> SweepSpec:
     )
 
 
-#: Named scenario bundles — curated grids for the paper's sensitivity studies.
+# -- paper-scale bundles --------------------------------------------------------
+#
+# One named bundle per figure at the paper's Sec. III/VI populations and
+# horizons (500-1000 peers, tens of thousands of simulated seconds).  These
+# are deliberately heavyweight: drive them through ``run_sweep`` with a
+# cache directory and ``--jobs`` so shards parallelise and interrupted runs
+# resume.  Every bundle pins ``scale="paper"``; replications/seed stay
+# overridable through :func:`scenario`.
+
+
+def _fig1_paper() -> SweepSpec:
+    # The paper's two cases — (c=200, Poisson-seller prices) condensed and
+    # (c=12, uniform prices) healthy — crossed into the full 2x2 ablation so
+    # the sweep separates the wealth lever from the pricing lever.
+    return SweepSpec(
+        experiment_id="fig1",
+        grid=ParamGrid(
+            {"initial_credits": [12.0, 200.0], "pricing_model": ["uniform", "poisson-seller"]}
+        ),
+        scale=Scale.PAPER.value,
+        name="fig1-paper",
+    )
+
+
+def _fig2_paper() -> SweepSpec:
+    # The paper's three (M, N) combinations, one shard each.
+    configs = [
+        {"total_credits": 2000, "num_peers": 100},
+        {"total_credits": 25000, "num_peers": 50},
+        {"total_credits": 50000, "num_peers": 50},
+    ]
+    return SweepSpec(
+        experiment_id="fig2", grid=configs, scale=Scale.PAPER.value, name="fig2-paper"
+    )
+
+
+def _fig3_paper() -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig3",
+        grid=ParamGrid(
+            {
+                "num_peers": [50, 100, 200, 400],
+                "average_wealth": [1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0],
+            }
+        ),
+        scale=Scale.PAPER.value,
+        name="fig3-paper",
+    )
+
+
+def _fig4_paper() -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig4",
+        grid=ParamGrid(
+            {"average_wealth": [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0]}
+        ),
+        scale=Scale.PAPER.value,
+        name="fig4-paper",
+    )
+
+
+def _fig5_6_paper() -> SweepSpec:
+    # Convergence-horizon x population sweep around the paper's 1000-peer,
+    # 40000 s run: shorter horizons expose the early-stage transient.
+    return SweepSpec(
+        experiment_id="fig5_6",
+        grid=ParamGrid({"num_peers": [500, 1000], "horizon": [10000.0, 20000.0, 40000.0]}),
+        scale=Scale.PAPER.value,
+        name="fig5_6-paper",
+    )
+
+
+def _fig7_paper() -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig7",
+        grid=ParamGrid({"average_wealth": [50.0, 100.0, 200.0]}),
+        scale=Scale.PAPER.value,
+        name="fig7-paper",
+    )
+
+
+def _fig8_paper() -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig8",
+        grid=ParamGrid({"average_wealth": [50.0, 100.0, 200.0]}),
+        scale=Scale.PAPER.value,
+        name="fig8-paper",
+    )
+
+
+def _fig9_paper() -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig9",
+        grid=_fig9_taxation_configs(),
+        scale=Scale.PAPER.value,
+        name="fig9-paper",
+    )
+
+
+def _fig10_paper() -> SweepSpec:
+    # Spending-policy grid: the static baseline plus the dynamic adjustment
+    # at thresholds below/at the paper's average wealth (c = 100).
+    configs: List[Dict[str, object]] = [{"spending_policy": "fixed"}]
+    configs += ParamGrid(
+        {"spending_policy": ["dynamic"], "wealth_threshold": [50.0, 100.0]}
+    ).points()
+    return SweepSpec(
+        experiment_id="fig10", grid=configs, scale=Scale.PAPER.value, name="fig10-paper"
+    )
+
+
+def _fig11_paper() -> SweepSpec:
+    # `mean_lifespan=None` is the static-overlay baseline point (an empty
+    # config would instead replicate the whole three-sub-figure experiment).
+    configs: List[Dict[str, object]] = [{"mean_lifespan": None}]
+    configs += ParamGrid(
+        {"mean_lifespan": [500.0, 1000.0, 2000.0], "rate_factor": [1.0, 2.0, 4.0]}
+    ).points()
+    return SweepSpec(
+        experiment_id="fig11", grid=configs, scale=Scale.PAPER.value, name="fig11-paper"
+    )
+
+
+#: Named scenario bundles — curated grids for the paper's sensitivity studies
+#: (default scale) and one paper-scale bundle per figure.
 SCENARIOS: Dict[str, Callable[[], SweepSpec]] = {
     "fig3-wealth-grid": _fig3_wealth_grid,
     "fig9-taxation-grid": _fig9_taxation_grid,
     "fig11-churn-grid": _fig11_churn_grid,
+    "fig1-paper": _fig1_paper,
+    "fig2-paper": _fig2_paper,
+    "fig3-paper": _fig3_paper,
+    "fig4-paper": _fig4_paper,
+    "fig5_6-paper": _fig5_6_paper,
+    "fig7-paper": _fig7_paper,
+    "fig8-paper": _fig8_paper,
+    "fig9-paper": _fig9_paper,
+    "fig10-paper": _fig10_paper,
+    "fig11-paper": _fig11_paper,
 }
 
 

@@ -126,12 +126,25 @@ def confidence_interval(
 
 
 def _erfinv(value: float) -> float:
-    """Inverse error function (Winitzki approximation, adequate for CI use)."""
+    """Inverse error function: Winitzki initial guess + Newton refinement.
+
+    The Winitzki approximation alone has ~1e-3 relative error, which is
+    visible in the third digit of high-confidence z-values (z(99%)).  Two
+    Newton steps on ``erf(x) - value`` (derivative ``2/sqrt(pi) e^{-x^2}``)
+    push the error below 1e-12 over the confidence range used here.
+    """
+    if value == 0.0:
+        return 0.0
     a = 0.147
     sign = 1.0 if value >= 0 else -1.0
-    ln_term = math.log(1.0 - value * value)
+    magnitude = abs(value)
+    ln_term = math.log(1.0 - magnitude * magnitude)
     first = 2.0 / (math.pi * a) + ln_term / 2.0
-    return sign * math.sqrt(math.sqrt(first * first - ln_term / a) - first)
+    x = math.sqrt(math.sqrt(first * first - ln_term / a) - first)
+    for _ in range(2):
+        residual = math.erf(x) - magnitude
+        x -= residual * math.sqrt(math.pi) / 2.0 * math.exp(x * x)
+    return sign * x
 
 
 def describe(samples: Sequence[float]) -> Dict[str, float]:

@@ -123,3 +123,51 @@ class TestCommands:
     def test_sweep_malformed_param_fails(self, capsys):
         assert main(["sweep", "fig3", "--param", "oops"]) == 2
         assert "name=v1,v2" in capsys.readouterr().err
+
+    def test_sweep_scenario_keeps_pinned_scale(self):
+        from repro.cli import _build_sweep_spec
+
+        # A paper bundle keeps its pinned paper scale when --scale is absent...
+        args = build_parser().parse_args(["sweep", "fig7-paper"])
+        assert _build_sweep_spec(args).scale == "paper"
+        # ... an explicit --scale still overrides it...
+        args = build_parser().parse_args(["sweep", "fig7-paper", "--scale", "smoke"])
+        assert _build_sweep_spec(args).scale == "smoke"
+        # ... and ad-hoc experiment-id sweeps default to the default scale.
+        args = build_parser().parse_args(["sweep", "fig7", "--param", "average_wealth=10"])
+        assert _build_sweep_spec(args).scale == "default"
+
+    def test_list_prints_sweep_axes_for_every_experiment(self, capsys):
+        from repro.experiments import EXPERIMENTS, sweep_params
+
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "sweep axes" in output
+        for experiment_id in EXPERIMENTS:
+            for axis in sweep_params(experiment_id):
+                assert axis in output
+
+    def test_list_mentions_paper_scale_bundles(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fig1-paper", "fig5_6-paper", "fig10-paper"):
+            assert name in output
+
+    def test_sweep_unknown_axis_fails_before_running(self, capsys):
+        # Axis validation happens at spec-build time, not inside a worker.
+        assert main(["sweep", "fig1", "--param", "bogus=1", "--scale", "smoke"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown sweep parameter" in err
+        assert "initial_credits" in err
+
+    def test_sweep_newly_ported_experiment_runs(self, capsys):
+        argv = [
+            "sweep", "fig1",
+            "--param", "initial_credits=5,8",
+            "--param", "num_peers=24", "--param", "horizon=60",
+            "--scale", "smoke", "--reps", "2", "--jobs", "2",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "4 shards" in output
+        assert "wealth_gini" in output

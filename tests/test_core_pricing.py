@@ -45,9 +45,21 @@ class TestPerPeerFlatPricing:
     def test_uniform_detection(self):
         assert PerPeerFlatPricing({1: 1.0, 2: 1.0}, default_price=1.0).is_uniform()
 
+    def test_zero_price_sellers_allowed(self):
+        # A Poisson price vector with mean 1 credit (the paper's Fig. 1
+        # non-uniform case) contains zero-price sellers; they are legal and
+        # simply never earn.
+        pricing = PerPeerFlatPricing({1: 0.0, 2: 2.0})
+        assert pricing.price(1, 0) == 0.0
+        assert pricing.mean_price() == pytest.approx(1.0)
+        pricing.set_price(2, 0.0)
+        assert pricing.price(2, 0) == 0.0
+
     def test_invalid_prices(self):
         with pytest.raises(ValueError):
-            PerPeerFlatPricing({1: 0.0})
+            PerPeerFlatPricing({1: -1.0})
+        with pytest.raises(ValueError):
+            PerPeerFlatPricing({1: 1.0}).set_price(1, -0.5)
         with pytest.raises(ValueError):
             PerPeerFlatPricing({}, default_price=-1.0)
 

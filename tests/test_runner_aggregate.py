@@ -81,3 +81,60 @@ class TestAggregateSweep:
         assert result.metadata["jobs"] == 4
         assert "jobs" not in result.table().columns()
         assert "Sweep aggregate" in result.format()
+
+
+def _shard(spec, task, rows):
+    """Build one ShardResult whose first table has ``rows`` (None = no tables)."""
+    tables = []
+    if rows is not None:
+        table = ResultTable(title="point")
+        for row in rows:
+            table.add_row(**row)
+        tables = [table]
+    result = ExperimentResult(experiment_id=spec.experiment_id, title="point", tables=tables)
+    return ShardResult(task=task, payload=result_to_payload(result))
+
+
+class TestRaggedReplications:
+    def _report_with_rows(self, rows_by_replication):
+        spec = SweepSpec(
+            "fig3", grid=[{"level": 1}], replications=len(rows_by_replication), base_seed=2
+        )
+        shards = [
+            _shard(spec, task, rows_by_replication[task.replication])
+            for task in spec.tasks()
+        ]
+        return SweepReport(spec=spec, shards=shards, executed=len(shards), jobs=1)
+
+    def test_mismatched_row_counts_raise(self):
+        report = self._report_with_rows(
+            [
+                [{"gini": 0.2}, {"gini": 0.3}],
+                [{"gini": 0.4}],  # one row short — must not be truncated away
+            ]
+        )
+        with pytest.raises(ValueError, match="ragged replications"):
+            aggregate_sweep(report)
+
+    def test_replication_without_tables_raises_when_others_have_them(self):
+        report = self._report_with_rows([[{"gini": 0.2}], None])
+        with pytest.raises(ValueError, match="no tables"):
+            aggregate_sweep(report)
+        # ... and symmetrically when the *first* replication is the empty one
+        # (previously this skipped the config silently).
+        report = self._report_with_rows([None, [{"gini": 0.2}]])
+        with pytest.raises(ValueError, match="ragged replications"):
+            aggregate_sweep(report)
+
+    def test_config_whose_replications_all_lack_tables_is_recorded(self):
+        report = self._report_with_rows([None, None])
+        table = aggregate_sweep(report)
+        assert len(table) == 0
+        assert table.metadata["configs_without_tables"] == ['{"level":1.0}']
+
+    def test_uniform_replications_unaffected(self):
+        report = self._report_with_rows([[{"gini": 0.2}], [{"gini": 0.4}]])
+        table = aggregate_sweep(report)
+        assert len(table) == 1
+        assert math.isclose(table.rows[0]["mean"], 0.3)
+        assert "configs_without_tables" not in table.metadata

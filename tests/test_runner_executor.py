@@ -132,7 +132,9 @@ def test_unknown_sweep_parameter_rejected():
 
 
 def test_unsweepable_experiment_with_params_rejected():
-    spec = SweepSpec("fig4", grid=[{"x": 1}], replications=1, scale="smoke")
+    # Every registered experiment is sweepable now, so only an unknown id
+    # can hit the "not sweepable" path.
+    spec = SweepSpec("fig99", grid=[{"x": 1}], replications=1, scale="smoke")
     with pytest.raises(KeyError, match="not sweepable"):
         run_sweep(spec, jobs=1)
 

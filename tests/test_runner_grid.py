@@ -107,8 +107,58 @@ class TestSweepSpec:
             SweepSpec("fig3", replications=0)
 
     def test_describe_mentions_shape(self):
-        spec = SweepSpec("fig11", grid=[{}, {}], replications=3, scale="smoke")
+        spec = SweepSpec(
+            "fig11",
+            grid=[{"mean_lifespan": 250.0}, {"mean_lifespan": 500.0}],
+            replications=3,
+            scale="smoke",
+        )
         assert "2 configs x 3 reps = 6 shards" in spec.describe()
+
+    def test_duplicate_configs_deduplicated(self):
+        # Two grid points with identical canonical content (50 vs 50.0) are
+        # one configuration: one seed chain, one cache artifact, one row.
+        spec = SweepSpec(
+            "fig3",
+            grid=[{"num_peers": 50}, {"num_peers": 50.0}],
+            replications=2,
+            scale="smoke",
+        )
+        assert len(spec.configs()) == 1
+        assert len(spec.tasks()) == 2
+
+    def test_ignored_knobs_normalized_out_of_config_identity(self):
+        # fig10's wealth_threshold is meaningless under the fixed policy and
+        # fig9's tax_threshold under tax_rate=0: crossing them must not mint
+        # distinct configurations that simulate identically.
+        spec = SweepSpec(
+            "fig10",
+            grid=ParamGrid(
+                {"spending_policy": ["fixed", "dynamic"], "wealth_threshold": [10.0, 20.0]}
+            ),
+            scale="smoke",
+        )
+        configs = spec.configs()
+        assert {"spending_policy": "fixed"} in configs
+        assert len(configs) == 3  # fixed once + dynamic at each threshold
+        spec9 = SweepSpec(
+            "fig9",
+            grid=ParamGrid({"tax_rate": [0.0, 0.1], "tax_threshold": [50.0, 80.0]}),
+            scale="smoke",
+        )
+        configs9 = spec9.configs()
+        assert {"tax_rate": 0.0} in configs9
+        assert len(configs9) == 3  # no-tax once + taxed at each threshold
+
+    def test_threshold_only_fig9_sweep_is_one_no_tax_config(self):
+        # Without a tax_rate axis the point runner's default (0.0) applies:
+        # the thresholds are all ignored, so the sweep is one explicit
+        # no-tax configuration (not the empty config, which would replicate
+        # the whole figure).
+        spec = SweepSpec(
+            "fig9", grid=ParamGrid({"tax_threshold": [50.0, 80.0]}), scale="smoke"
+        )
+        assert spec.configs() == [{"tax_rate": 0.0}]
 
 
 class TestScenarios:
@@ -123,3 +173,28 @@ class TestScenarios:
     def test_unknown_scenario_raises(self):
         with pytest.raises(KeyError, match="unknown scenario"):
             scenario("not-a-scenario")
+
+    def test_every_scenario_uses_declared_sweep_axes(self):
+        # A bundle whose configs name an axis the point runner does not
+        # accept would only fail at shard-execution time; pin it here.
+        from repro.experiments import validate_sweep_config
+
+        for name in SCENARIOS:
+            spec = SCENARIOS[name]()
+            axis_names = {key for config in spec.configs() for key in config}
+            validate_sweep_config(spec.experiment_id, axis_names)
+
+    def test_every_figure_has_a_paper_scale_bundle(self):
+        from repro.experiments import EXPERIMENTS
+
+        for experiment_id in EXPERIMENTS:
+            name = f"{experiment_id}-paper"
+            assert name in SCENARIOS, name
+            spec = SCENARIOS[name]()
+            assert spec.experiment_id == experiment_id
+            assert spec.scale == "paper"
+            assert len(spec.configs()) >= 1
+            assert all(config for config in spec.configs()), (
+                f"{name}: empty config would replicate the whole experiment "
+                "instead of running a grid point"
+            )

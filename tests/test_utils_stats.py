@@ -85,6 +85,32 @@ class TestConfidenceInterval:
         with pytest.raises(ValueError):
             confidence_interval([])
 
+    def test_z_values_match_normal_quantiles_to_1e6(self):
+        # The Winitzki approximation alone is ~1e-3 off; the Newton-refined
+        # inverse must reproduce the standard normal quantiles to 1e-6.
+        from repro.utils.stats import _erfinv
+
+        for confidence, reference_z in (
+            (0.95, 1.959963984540054),
+            (0.99, 2.5758293035489004),
+        ):
+            z = math.sqrt(2.0) * _erfinv(confidence)
+            assert abs(z - reference_z) < 1e-6
+
+    def test_erfinv_roundtrips_erf(self):
+        from repro.utils.stats import _erfinv
+
+        assert _erfinv(0.0) == 0.0
+        for value in (-0.999, -0.5, -0.1, 0.1, 0.5, 0.9, 0.99, 0.999):
+            assert math.erf(_erfinv(value)) == pytest.approx(value, abs=1e-9)
+
+    def test_ci_width_uses_refined_z(self):
+        # Two samples: std = sqrt(2), sqrt(n) = sqrt(2), so the 99%
+        # half-width collapses to exactly z(99%).
+        samples = [-1.0, 1.0]
+        low, high = confidence_interval(samples, 0.99)
+        assert (high - low) / 2.0 == pytest.approx(2.5758293035489004, abs=1e-6)
+
 
 class TestDescribe:
     def test_fields_present_and_consistent(self):
