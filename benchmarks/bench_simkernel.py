@@ -1,0 +1,137 @@
+"""Benchmark: spending-kernel step throughput, loop vs vectorized.
+
+Times ``CreditMarketSimulator.advance_rounds`` (construction excluded)
+for the per-spender **loop** kernel — the pre-vectorization hot path —
+and the batched **vectorized** kernel at several populations, verifies
+the two produce bit-identical end states, and records the numbers to
+``BENCH_simkernel.json`` at the repo root.
+
+Two profiles share one recording format:
+
+* the default (full) profile measures 100 / 500 / 1000 peers — the
+  paper's population range — and is what the committed baseline holds;
+* ``REPRO_BENCH_SIMKERNEL=smoke`` measures only the small populations
+  with short horizons; CI runs it on every PR and
+  ``check_bench_regression.py`` compares the overlapping populations
+  against the committed baseline (>30% throughput regression fails).
+
+``REPRO_BENCH_SIMKERNEL_OUT`` redirects the output file (CI writes to a
+scratch path so the committed baseline stays pristine).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.p2psim import CreditMarketSimulator, MarketSimConfig, UtilizationMode
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_simkernel.json"
+
+#: (num_peers, simulated rounds) per profile.  Rounds shrink with the
+#: population so every measurement stays in wall-clock seconds.  The smoke
+#: profile is a strict prefix of the full one — identical (peers, rounds)
+#: pairs — so CI's smoke numbers compare like-for-like against the
+#: committed full-profile baseline.
+PROFILES = {
+    "full": [(100, 400), (500, 120), (1000, 60)],
+    "smoke": [(100, 400), (500, 120)],
+}
+
+KERNELS = ("loop", "vectorized")
+
+#: Timing repeats per kernel (best-of): the gated vectorized kernel gets
+#: extra repeats because its runs are cheap and CI runners are noisy.
+REPEATS = {"loop": 1, "vectorized": 3}
+
+
+def _config(num_peers: int, rounds: int, kernel: str) -> MarketSimConfig:
+    return MarketSimConfig(
+        num_peers=num_peers,
+        initial_credits=100.0,
+        horizon=float(rounds),
+        step=1.0,
+        utilization=UtilizationMode.ASYMMETRIC,
+        sample_interval=float(rounds),  # one warm-up sample, one final
+        kernel=kernel,
+        seed=1,
+    )
+
+
+def _state_fingerprint(simulator: CreditMarketSimulator) -> tuple:
+    return (
+        simulator._balance.tobytes(),
+        simulator._spent.tobytes(),
+        simulator._earned.tobytes(),
+        simulator.total_transfers,
+    )
+
+
+def _measure(num_peers: int, rounds: int, kernel: str) -> dict:
+    """Best-of-``REPEATS[kernel]`` timing of one (population, kernel) cell."""
+    best = None
+    for _ in range(REPEATS[kernel]):
+        simulator = CreditMarketSimulator(_config(num_peers, rounds, kernel))
+        started = time.perf_counter()
+        simulator.advance_rounds(rounds)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best["seconds"]:
+            best = {
+                "seconds": elapsed,
+                "steps_per_second": rounds / elapsed,
+                "transfers": simulator.total_transfers,
+                "fingerprint": _state_fingerprint(simulator),
+            }
+    return best
+
+
+def test_simkernel_throughput():
+    profile = os.environ.get("REPRO_BENCH_SIMKERNEL", "full")
+    if profile not in PROFILES:
+        raise SystemExit(
+            f"unknown REPRO_BENCH_SIMKERNEL profile {profile!r}; "
+            f"known: {', '.join(PROFILES)}"
+        )
+    populations = []
+    for num_peers, rounds in PROFILES[profile]:
+        measured = {kernel: _measure(num_peers, rounds, kernel) for kernel in KERNELS}
+        # The two kernels must tell the same story before their timings are
+        # comparable: identical balances, counters and transfer totals.
+        assert (
+            measured["loop"]["fingerprint"] == measured["vectorized"]["fingerprint"]
+        ), f"kernels diverged at {num_peers} peers"
+        populations.append(
+            {
+                "num_peers": num_peers,
+                "rounds": rounds,
+                "transfers": measured["vectorized"]["transfers"],
+                "loop_steps_per_second": round(measured["loop"]["steps_per_second"], 2),
+                "vectorized_steps_per_second": round(
+                    measured["vectorized"]["steps_per_second"], 2
+                ),
+                "speedup": round(
+                    measured["vectorized"]["steps_per_second"]
+                    / measured["loop"]["steps_per_second"],
+                    3,
+                ),
+            }
+        )
+
+    record = {
+        "profile": profile,
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernels_byte_identical": True,
+        "populations": populations,
+    }
+    output = Path(os.environ.get("REPRO_BENCH_SIMKERNEL_OUT") or OUTPUT_PATH)
+    output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(record, indent=2))

@@ -1,0 +1,120 @@
+"""Benchmark-regression gate: compare a fresh kernel benchmark to the baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py CURRENT.json [BASELINE.json]
+        [--tolerance 0.30]
+
+Reads two ``BENCH_simkernel.json``-format recordings (the baseline
+defaults to the committed ``BENCH_simkernel.json`` at the repo root) and
+compares the **vectorized** kernel's step throughput for every population
+the two recordings share.  A population whose current throughput falls
+more than ``tolerance`` (default 30%, ``REPRO_BENCH_TOLERANCE`` env
+override) below the baseline fails the gate with exit code 1.
+
+The absolute numbers move with the hardware the gate runs on, which is
+why the tolerance is wide: the gate exists to catch the order-of-magnitude
+regressions (an accidentally de-vectorized hot path, a per-step rebuild of
+the routing pack), not single-digit jitter.  As a hardware-independent
+backstop the gate also checks the vectorized/loop ``speedup`` ratio (both
+sides measured in the same run, so machine speed cancels): falling below
+half the baseline ratio fails regardless of absolute throughput.  The
+freshly measured JSON is uploaded as a CI artifact either way, so genuine
+trends stay auditable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_simkernel.json"
+GATED_METRIC = "vectorized_steps_per_second"
+
+#: The speedup ratio may drop to this fraction of the baseline before the
+#: backstop fires.  Deliberately coarse: load skews the loop and vectorized
+#: timings differently (±35% ratio swings observed on a busy single core),
+#: while a de-vectorization regression collapses the ratio toward 1x.
+SPEEDUP_FLOOR_FRACTION = 0.5
+
+
+def _load(path: Path) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read benchmark recording {path}: {error}")
+
+
+def _by_population(record: dict) -> dict:
+    populations = record.get("populations") or []
+    return {int(entry["num_peers"]): entry for entry in populations}
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> int:
+    """Print the comparison table; return the number of regressions."""
+    current_by_pop = _by_population(current)
+    baseline_by_pop = _by_population(baseline)
+    shared = sorted(set(current_by_pop) & set(baseline_by_pop))
+    if not shared:
+        raise SystemExit(
+            "the two recordings share no populations — nothing to compare "
+            f"(current: {sorted(current_by_pop)}, baseline: {sorted(baseline_by_pop)})"
+        )
+    regressions = 0
+    print(f"benchmark-regression gate (tolerance {tolerance:.0%}, metric {GATED_METRIC})")
+    for num_peers in shared:
+        measured = float(current_by_pop[num_peers][GATED_METRIC])
+        reference = float(baseline_by_pop[num_peers][GATED_METRIC])
+        floor = (1.0 - tolerance) * reference
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        if measured < floor:
+            regressions += 1
+        print(
+            f"  {num_peers:>5} peers: {measured:>10.1f} steps/s "
+            f"(baseline {reference:.1f}, floor {floor:.1f}) {verdict}"
+        )
+        speedup = float(current_by_pop[num_peers].get("speedup", 0.0))
+        speedup_ref = float(baseline_by_pop[num_peers].get("speedup", 0.0))
+        speedup_floor = SPEEDUP_FLOOR_FRACTION * speedup_ref
+        if speedup_ref and speedup < speedup_floor:
+            regressions += 1
+            print(
+                f"  {num_peers:>5} peers: speedup {speedup:.2f}x fell below "
+                f"{speedup_floor:.2f}x (half of baseline {speedup_ref:.2f}x) REGRESSION"
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="freshly measured recording")
+    parser.add_argument(
+        "baseline",
+        type=Path,
+        nargs="?",
+        default=DEFAULT_BASELINE,
+        help="committed baseline recording (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional throughput drop (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("tolerance must be in [0, 1)")
+    regressions = compare(_load(args.current), _load(args.baseline), args.tolerance)
+    if regressions:
+        print(f"{regressions} population(s) regressed beyond tolerance", file=sys.stderr)
+        return 1
+    print("throughput within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli sweep fig1 --param initial_credits=12,200 \
         --param pricing_model=uniform,poisson-seller --scale smoke
     python -m repro.cli sweep fig7-paper --reps 4 --jobs 0 --cache-dir .repro-cache
+    python -m repro.cli run fig7 --scale paper --intra-jobs 4 --cache-dir .repro-cache
 
 ``list`` prints every registered experiment with its paper section, the
 sweep axes each experiment's point runner accepts, and the named scenario
@@ -24,7 +25,12 @@ run through the orchestrator too, printing the experiment's own tables);
 ``sweep`` runs a parameter grid (a named scenario bundle or ad-hoc
 ``--param`` axes, validated against the experiment's declared axes before
 anything executes) sharded over worker processes, with optional artifact
-caching so interrupted or repeated sweeps skip completed shards.
+caching so interrupted or repeated sweeps skip completed shards.  Both
+``run`` and ``sweep`` accept ``--intra-jobs N`` to additionally split
+every market simulation into N checkpointed round-blocks that pipeline
+across the worker pool and (with ``--cache-dir``) resume interrupted
+paper-scale runs at block granularity — byte-identical to the monolithic
+run in every case.
 """
 
 from __future__ import annotations
@@ -55,6 +61,17 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="worker processes (0 = one per CPU; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--intra-jobs",
+        type=int,
+        default=1,
+        help=(
+            "round-blocks each market simulation is split into; blocks "
+            "checkpoint into the cache and pipeline across workers "
+            "(results are byte-identical to monolithic runs; default: "
+            "%(default)s)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -160,6 +177,7 @@ def _run_orchestrated(
     seed: int,
     reps: int,
     jobs: int,
+    intra_jobs: int,
     cache_dir: Optional[str],
     csv_path: Optional[str],
 ) -> int:
@@ -168,7 +186,7 @@ def _run_orchestrated(
     spec = SweepSpec(experiment, replications=reps, base_seed=seed, scale=scale)
     cache = ArtifactCache(cache_dir) if cache_dir else None
     try:
-        report = run_sweep(spec, jobs=jobs, cache=cache, progress=print)
+        report = run_sweep(spec, jobs=jobs, cache=cache, progress=print, intra_jobs=intra_jobs)
         print(report.describe())
         print()
         if reps == 1:
@@ -184,10 +202,10 @@ def _run_orchestrated(
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    if args.reps > 1 or args.jobs != 1 or args.cache_dir:
+    if args.reps > 1 or args.jobs != 1 or args.intra_jobs != 1 or args.cache_dir:
         return _run_orchestrated(
             args.experiment, args.scale, args.seed, args.reps, args.jobs,
-            args.cache_dir, args.csv,
+            args.intra_jobs, args.cache_dir, args.csv,
         )
     try:
         result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
@@ -240,7 +258,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
         return _print_error(error)
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
     try:
-        report = run_sweep(spec, jobs=args.jobs, cache=cache, progress=print)
+        report = run_sweep(
+            spec, jobs=args.jobs, cache=cache, progress=print, intra_jobs=args.intra_jobs
+        )
         print(report.describe())
         print()
         # Aggregation can reject a sweep too (ragged replications), so it

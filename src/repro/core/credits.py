@@ -10,7 +10,7 @@ conservation at any time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 __all__ = ["InsufficientCreditsError", "Transaction", "Wallet", "CreditLedger"]

@@ -11,7 +11,7 @@ of waiting for ``N`` units.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.credits import CreditLedger
 from repro.utils.validation import check_fraction, check_non_negative

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.overlay.membership import MembershipTracker
-from repro.simulation.engine import SimulationEngine
 from repro.simulation.process import Process
 from repro.utils.validation import check_positive
 

@@ -74,6 +74,13 @@ class MarketSimConfig:
     warmup:
         Samples before this time are recorded but flagged as warm-up by the
         recorder's helpers.
+    kernel:
+        Spending-round implementation: ``"vectorized"`` (default) routes
+        every credit of a round through one batched array kernel;
+        ``"loop"`` walks spenders in a per-peer Python loop.  Both kernels
+        consume the same random draws and produce bit-identical results —
+        the loop kernel exists as the throughput baseline the simulator
+        benchmark (``benchmarks/bench_simkernel.py``) compares against.
     seed:
         Base RNG seed.
     """
@@ -93,6 +100,7 @@ class MarketSimConfig:
     churn: Optional[ChurnConfig] = None
     sample_interval: float = 50.0
     warmup: float = 0.0
+    kernel: str = "vectorized"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -107,6 +115,8 @@ class MarketSimConfig:
         check_positive(self.sample_interval, "sample_interval")
         if self.warmup < 0:
             raise ValueError("warmup must be non-negative")
+        if self.kernel not in ("vectorized", "loop"):
+            raise ValueError("kernel must be 'vectorized' or 'loop'")
         if self.topology_mean_degree >= self.num_peers:
             raise ValueError("topology_mean_degree must be smaller than num_peers")
 

@@ -22,8 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.spending import FixedSpendingPolicy
-from repro.core.taxation import NoTax, TaxPolicy, ThresholdIncomeTax
+from repro.core.taxation import NoTax, ThresholdIncomeTax
 from repro.overlay.generators import scale_free_topology
 from repro.overlay.membership import MembershipTracker
 from repro.overlay.topology import OverlayTopology
@@ -34,6 +33,35 @@ from repro.queueing.traffic import solve_traffic_equations
 from repro.utils.rng import make_rng
 
 __all__ = ["MarketSimResult", "CreditMarketSimulator"]
+
+
+@dataclass
+class _RoutingPack:
+    """Alive peers' routing rows stacked into padded matrices.
+
+    Row ``i`` describes the peer in slot ``alive_slots[i]``: its first
+    ``degrees[i]`` columns of ``nbr`` hold neighbour slot indices and the
+    matching columns of ``cdf`` the cumulative routing probabilities
+    (normalised so the last real entry is exactly 1.0).  Padding columns
+    hold ``cdf = 2.0`` — no uniform draw in ``[0, 1)`` ever selects them.
+
+    ``flat`` is ``cdf`` with ``3.0 * row`` added to row ``row`` and then
+    flattened: row ``r`` occupies values in ``[3r, 3r + 2]``, so the whole
+    matrix is one globally sorted vector and a credit of spender row ``r``
+    with uniform ``u`` routes to column ``searchsorted(flat, u + 3r,
+    "right") - r * width`` — one batched binary search routes every credit
+    of a round.  Both kernels compare against the same ``flat`` values, so
+    their routing decisions are bit-identical.
+
+    The pack is a pure cache derived from ``_neighbors``/``_probs``; any
+    membership or routing change drops it and the next round rebuilds it.
+    """
+
+    alive_slots: np.ndarray
+    degrees: np.ndarray
+    nbr: np.ndarray
+    cdf: np.ndarray
+    flat: np.ndarray
 
 
 @dataclass
@@ -135,12 +163,19 @@ class CreditMarketSimulator:
         self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
         self._neighbors: Dict[int, np.ndarray] = {}
         self._probs: Dict[int, np.ndarray] = {}
+        self._pack: Optional[_RoutingPack] = None
+        # Per-round scratch buffers: `_income` accumulates the loop kernel's
+        # transfers, `_zero_income` is the (never written) empty-round view —
+        # both preallocated so the hot loop allocates nothing on quiet rounds.
+        self._income = np.zeros(capacity)
+        self._zero_income = np.zeros(capacity)
 
         self._tax_pool = 0.0
         self.total_transfers = 0
         self.joins = 0
         self.leaves = 0
         self._time = 0.0
+        self._next_sample = 0.0
 
         initial_peers = self.topology.peers()
         mu_by_peer = self._configure_spending_rates(initial_peers)
@@ -208,6 +243,8 @@ class CreditMarketSimulator:
         self._base_mu = extend(self._base_mu)
         self._spent = extend(self._spent)
         self._earned = extend(self._earned)
+        self._income = np.zeros(new_capacity)
+        self._zero_income = np.zeros(new_capacity)
         self._free_slots = list(range(new_capacity - 1, self._capacity - 1, -1)) + self._free_slots
         self._capacity = new_capacity
 
@@ -238,12 +275,14 @@ class CreditMarketSimulator:
         self._neighbors.pop(slot, None)
         self._probs.pop(slot, None)
         self._free_slots.append(slot)
+        self._pack = None
 
     def _refresh_routing_row(self, peer_id: int) -> None:
         """Recompute the neighbour list and routing probabilities of one peer."""
         slot = self._slot_of.get(peer_id)
         if slot is None:
             return
+        self._pack = None
         neighbor_ids = [
             neighbor
             for neighbor in self.topology.neighbors(peer_id)
@@ -333,58 +372,140 @@ class CreditMarketSimulator:
 
     # ------------------------------------------------------------------ main loop
 
+    def _routing_pack(self) -> _RoutingPack:
+        """Return the padded routing matrices of the alive population.
+
+        Rebuilt lazily after any membership/routing change; on static
+        overlays the pack is built once and reused for the whole run.
+        """
+        if self._pack is None:
+            alive_slots = np.flatnonzero(self._alive)
+            count = alive_slots.size
+            degrees = np.zeros(count, dtype=np.int64)
+            for row, slot in enumerate(alive_slots):
+                neighbors = self._neighbors.get(int(slot))
+                degrees[row] = 0 if neighbors is None else neighbors.size
+            max_degree = int(degrees.max()) if count else 0
+            nbr = np.zeros((count, max_degree), dtype=np.int64)
+            cdf = np.full((count, max_degree), 2.0)
+            for row, slot in enumerate(alive_slots):
+                degree = int(degrees[row])
+                if degree == 0:
+                    continue
+                row_cdf = np.cumsum(self._probs[int(slot)])
+                # The last real entry must be exactly 1.0 so every uniform
+                # draw in [0, 1) lands on a real neighbour despite cumsum
+                # rounding; dividing by the total guarantees it.
+                row_cdf /= row_cdf[-1]
+                nbr[row, :degree] = self._neighbors[int(slot)]
+                cdf[row, :degree] = row_cdf
+            flat = (cdf + 3.0 * np.arange(count)[:, None]).ravel()
+            self._pack = _RoutingPack(alive_slots, degrees, nbr, cdf, flat)
+        return self._pack
+
+    def _route_credits_vectorized(
+        self, pack: _RoutingPack, spendable: np.ndarray, draws: np.ndarray
+    ) -> np.ndarray:
+        """Route every credit of the round with one batched binary search."""
+        width = pack.cdf.shape[1]
+        rows = np.repeat(np.arange(pack.alive_slots.size), spendable)
+        hits = np.searchsorted(pack.flat, draws + 3.0 * rows, side="right") - rows * width
+        # `u + 3r` can round up to exactly the row's final cdf value (e.g.
+        # u = 1 - 2**-53 at row 1 rounds to 4.0), which would index one past
+        # the last real neighbour; clamp those ~ulp-probability draws onto it.
+        hits = np.minimum(hits, pack.degrees[rows] - 1)
+        destinations = pack.nbr[rows, hits]
+        return np.bincount(destinations, minlength=self._capacity).astype(float)
+
+    def _route_credits_loop(
+        self, pack: _RoutingPack, spendable: np.ndarray, draws: np.ndarray
+    ) -> np.ndarray:
+        """Per-spender routing loop (the benchmark baseline).
+
+        Consumes the draws exactly like the vectorized kernel — the same
+        inverse-CDF search against the same routing-pack row values — so
+        both kernels produce bit-identical income vectors.
+        """
+        income = self._income
+        income.fill(0.0)
+        width = pack.cdf.shape[1]
+        offset = 0
+        for row in range(pack.alive_slots.size):
+            to_spend = int(spendable[row])
+            if to_spend == 0:
+                continue
+            uniforms = draws[offset : offset + to_spend]
+            offset += to_spend
+            row_flat = pack.flat[row * width : (row + 1) * width]
+            hits = np.searchsorted(row_flat, uniforms + 3.0 * row, side="right")
+            hits = np.minimum(hits, pack.degrees[row] - 1)
+            np.add.at(income, pack.nbr[row, hits], 1.0)
+        return income
+
     def _spending_round(self, dt: float) -> None:
         rng = self._rng
-        policy = self.config.spending_policy
-        alive_slots = np.flatnonzero(self._alive)
+        pack = self._routing_pack()
+        alive_slots = pack.alive_slots
         if alive_slots.size == 0:
             return
         balances = self._balance[alive_slots]
-        base_rates = self._base_mu[alive_slots]
-        if isinstance(policy, FixedSpendingPolicy):
-            rates = base_rates
-        else:
-            rates = np.array(
-                [
-                    policy.effective_rate(base, wealth)
-                    for base, wealth in zip(base_rates, balances)
-                ]
-            )
+        rates = self.config.spending_policy.effective_rate_vector(
+            self._base_mu[alive_slots], balances
+        )
         intended = rng.poisson(rates * dt)
         spendable = np.minimum(intended, np.floor(balances).astype(np.int64))
-        income = np.zeros(self._capacity)
-        for slot, to_spend in zip(alive_slots, spendable):
-            if to_spend <= 0:
-                continue
-            neighbors = self._neighbors.get(int(slot))
-            if neighbors is None or neighbors.size == 0:
-                continue
-            probs = self._probs[int(slot)]
-            counts = rng.multinomial(int(to_spend), probs)
-            self._balance[slot] -= to_spend
-            self._spent[slot] += to_spend
-            np.add.at(income, neighbors, counts)
-            self.total_transfers += int(to_spend)
+        spendable = np.where(pack.degrees > 0, spendable, 0)
+        total = int(spendable.sum())
+        if total == 0:
+            # Nobody spent: skip the transfer machinery entirely, but still
+            # show the (all-zero) income to the tax policy — rebate rounds
+            # may fire on a quiet round once the pool is full.
+            self._apply_taxation(self._zero_income)
+            return
+        draws = rng.random(total)
+        if self.config.kernel == "loop":
+            income = self._route_credits_loop(pack, spendable, draws)
+        else:
+            income = self._route_credits_vectorized(pack, spendable, draws)
+        spent = spendable.astype(float)
+        self._balance[alive_slots] -= spent
+        self._spent[alive_slots] += spent
+        self.total_transfers += total
         received = np.flatnonzero(income > 0)
         self._balance[received] += income[received]
         self._earned[received] += income[received]
         self._apply_taxation(income)
 
-    def run(self) -> MarketSimResult:
-        """Run the simulation for the configured horizon and return the result."""
-        config = self.config
-        dt = config.step
-        next_sample = 0.0
-        steps = int(np.ceil(config.horizon / dt))
-        for _ in range(steps):
-            if self._time + 1e-9 >= next_sample:
+    def total_rounds(self) -> int:
+        """Number of simulation rounds the configured horizon spans."""
+        return int(np.ceil(self.config.horizon / self.config.step))
+
+    def advance_rounds(self, rounds: int) -> None:
+        """Advance the simulation by ``rounds`` rounds (without finalising).
+
+        ``run()`` is ``advance_rounds(total_rounds())`` + ``finalize()``;
+        intra-run partitioning (:mod:`repro.runner.partition`) advances the
+        same rounds in checkpointed blocks, which yields an identical state
+        because each round's draws depend only on the state before it.
+        """
+        dt = self.config.step
+        for _ in range(rounds):
+            if self._time + 1e-9 >= self._next_sample:
                 self._record_sample()
-                next_sample += config.sample_interval
+                self._next_sample += self.config.sample_interval
             self._apply_churn(dt)
             self._spending_round(dt)
             self._time += dt
+
+    def finalize(self) -> MarketSimResult:
+        """Record the final sample and assemble the run's result."""
         self._record_sample()
         return self._build_result()
+
+    def run(self) -> MarketSimResult:
+        """Run the simulation for the configured horizon and return the result."""
+        self.advance_rounds(self.total_rounds())
+        return self.finalize()
 
     def _record_sample(self) -> None:
         alive_slots = np.flatnonzero(self._alive)
@@ -417,5 +538,19 @@ class CreditMarketSimulator:
         topology: Optional[OverlayTopology] = None,
         snapshot_times: Optional[Sequence[float]] = None,
     ) -> MarketSimResult:
-        """Build a simulator for ``config`` and run it to completion."""
+        """Build a simulator for ``config`` and run it to completion.
+
+        When an intra-run partition context is active (see
+        :mod:`repro.runner.partition`), the run executes as checkpointed
+        round-blocks through that context instead — producing bit-identical
+        results, since block boundaries only pickle/unpickle the state the
+        monolithic loop would carry anyway.
+        """
+        from repro.runner.partition import active_context
+
+        context = active_context()
+        if context is not None:
+            return context.run_market(
+                cls, config, topology=topology, snapshot_times=snapshot_times
+            )
         return cls(config, topology=topology, snapshot_times=snapshot_times).run()

@@ -29,8 +29,6 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.credits import CreditLedger
-from repro.core.spending import FixedSpendingPolicy
-from repro.core.taxation import NoTax
 from repro.overlay.generators import scale_free_topology
 from repro.overlay.topology import OverlayTopology
 from repro.p2psim.config import StreamingSimConfig

@@ -19,7 +19,6 @@ wealth profile follow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 import numpy as np

@@ -21,7 +21,6 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.queueing.routing import RoutingMatrix
-from repro.utils.validation import check_stochastic_matrix
 
 __all__ = ["OpenQueueResult", "OpenJacksonNetwork"]
 

@@ -15,7 +15,12 @@ into declarative, cache-aware, parallel parameter sweeps:
   code version, making interrupted sweeps resumable;
 * :mod:`repro.runner.aggregate` — cross-replication aggregation (mean,
   std, normal and bootstrap confidence intervals) feeding the existing
-  :class:`~repro.utils.records.ResultTable` containers.
+  :class:`~repro.utils.records.ResultTable` containers;
+* :mod:`repro.runner.partition` — intra-run parallelism: a single
+  paper-scale market simulation executes as checkpointed round-blocks
+  (``--intra-jobs``) that pipeline across the worker pool and resume
+  interrupted runs at block granularity, bit-identical to the monolithic
+  run.
 
 Determinism contract
 --------------------
@@ -47,9 +52,19 @@ from repro.runner.grid import (
     canonical_config,
     scenario,
 )
+from repro.runner.partition import (
+    BlockContext,
+    CheckpointStore,
+    OutOfBlockBudget,
+    round_blocks,
+    run_market_partitioned,
+)
 
 __all__ = [
     "ArtifactCache",
+    "BlockContext",
+    "CheckpointStore",
+    "OutOfBlockBudget",
     "ParamGrid",
     "SCENARIOS",
     "ShardResult",
@@ -64,6 +79,8 @@ __all__ = [
     "default_jobs",
     "payload_to_result",
     "result_to_payload",
+    "round_blocks",
+    "run_market_partitioned",
     "run_sweep",
     "scenario",
     "task_key",

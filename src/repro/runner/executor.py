@@ -6,15 +6,24 @@ the :class:`~repro.runner.cache.ArtifactCache`, executes the remainder —
 in-process at ``jobs=1``, on a ``ProcessPoolExecutor`` otherwise — and
 returns the shards in deterministic ``(config_index, replication)`` order.
 
+With ``intra_jobs > 1`` each shard additionally executes as a *chain* of
+round-block invocations (see :mod:`repro.runner.partition`): every pool
+task advances one checkpointed block of one shard's market simulation, so
+blocks of different shards pipeline across the workers and an interrupted
+paper-scale run resumes from its last completed block.  Partitioned and
+monolithic execution produce byte-identical shard payloads and share the
+same artifact-cache keys.
+
 Determinism contract
 --------------------
 * Shard seeds come from the spec (``derive_seed`` chain over the config
   content), so the randomness a shard consumes is fixed before any worker
   is chosen; worker count and completion order cannot perturb it.
-* Every shard result — fresh or cached, serial or parallel — passes
-  through the same JSON payload round-trip
-  (:func:`~repro.runner.cache.result_to_payload`), so downstream
-  aggregation sees exactly the same values in every execution mode.
+* Every shard result — fresh or cached, serial or parallel, monolithic or
+  round-block partitioned — passes through the same JSON payload
+  round-trip (:func:`~repro.runner.cache.result_to_payload`), so
+  downstream aggregation sees exactly the same values in every execution
+  mode.
 * Results are re-ordered by task index before being returned; completion
   order never leaks into the report.
 
@@ -25,8 +34,10 @@ the cache atomically, so a re-run executes only the missing ones.
 from __future__ import annotations
 
 import os
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, as_completed, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
@@ -34,6 +45,7 @@ from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import run_sweep_point
 from repro.runner.cache import ArtifactCache, code_fingerprint, payload_to_result, result_to_payload, task_key
 from repro.runner.grid import SweepSpec, SweepTask
+from repro.runner.partition import BlockContext, CheckpointStore, OutOfBlockBudget
 
 __all__ = ["ShardResult", "SweepReport", "run_sweep", "default_jobs"]
 
@@ -70,6 +82,9 @@ class SweepReport:
         How many shards ran vs. were restored from the artifact cache.
     jobs:
         Worker count used for the executed shards.
+    intra_jobs:
+        Round-blocks each shard's market simulations were split into
+        (``1`` = monolithic shards).
     duration:
         Wall-clock seconds spent inside :func:`run_sweep`.
     """
@@ -79,6 +94,7 @@ class SweepReport:
     executed: int = 0
     cached: int = 0
     jobs: int = 1
+    intra_jobs: int = 1
     duration: float = 0.0
 
     def results(self) -> List[ExperimentResult]:
@@ -94,9 +110,10 @@ class SweepReport:
 
     def describe(self) -> str:
         """One-line human summary of what ran and what was reused."""
+        intra = f", intra_jobs={self.intra_jobs}" if self.intra_jobs > 1 else ""
         return (
             f"{self.spec.describe()} — {self.executed} executed, "
-            f"{self.cached} from cache, jobs={self.jobs}, {self.duration:.2f}s"
+            f"{self.cached} from cache, jobs={self.jobs}{intra}, {self.duration:.2f}s"
         )
 
 
@@ -114,11 +131,105 @@ def _execute_task(payload: Mapping[str, object]) -> Dict[str, object]:
     return result_to_payload(result)
 
 
+def _execute_chain_step(
+    payload: Mapping[str, object],
+    blocks: int,
+    store_root: str,
+    budget: Optional[int] = 1,
+) -> Optional[Dict[str, object]]:
+    """Worker entry point for one round-block invocation of a shard chain.
+
+    Installs a :class:`BlockContext` with a budget of ``budget`` new
+    blocks and re-enters the shard's point runner: completed simulations
+    restore from their checkpoints for free, unfinished ones advance up
+    to the budget (checkpointing each block), and the invocation either
+    finishes the experiment (returning its payload) or runs out of budget
+    (returning ``None`` so the scheduler re-submits the chain).
+    ``budget=None`` is unlimited — the whole shard completes in one
+    invocation, still checkpointing every block boundary.
+    """
+    task = SweepTask.from_payload(payload)
+    store = CheckpointStore(store_root)
+    context = BlockContext(store, blocks=blocks, scope=task_key(task), budget=budget)
+    try:
+        with context:
+            result = run_sweep_point(
+                task.experiment_id, dict(task.config), scale=task.scale, seed=task.seed
+            )
+    except OutOfBlockBudget:
+        return None
+    return result_to_payload(result)
+
+
+def _run_chains(
+    tasks: List[SweepTask],
+    pending: List[int],
+    jobs: int,
+    intra_jobs: int,
+    store_root: str,
+    commit: Callable[[int, Dict[str, object], int], None],
+) -> None:
+    """Drive every pending shard through its round-block invocation chain.
+
+    Blocks of one shard are sequential (each needs the previous one's
+    checkpoint); blocks of different shards interleave freely across the
+    pool, which is what pipelines a multi-replication paper-scale sweep.
+    With a single worker there is nothing to pipeline, so each shard runs
+    its whole chain in one unlimited-budget invocation — identical
+    checkpoints and payload, none of the per-block re-entry overhead.
+    """
+    if jobs == 1 or len(pending) == 1:
+        for count, index in enumerate(pending, start=1):
+            payload = _execute_chain_step(
+                tasks[index].to_payload(), intra_jobs, store_root, budget=None
+            )
+            assert payload is not None  # unlimited budget always completes
+            commit(index, payload, count)
+        return
+
+    first_error: Optional[BaseException] = None
+    count = 0
+    queue = deque(pending)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        inflight: Dict[object, int] = {}
+
+        def submit(index: int) -> None:
+            future = pool.submit(
+                _execute_chain_step, tasks[index].to_payload(), intra_jobs, store_root
+            )
+            inflight[future] = index
+
+        while queue and len(inflight) < min(jobs, len(pending)):
+            submit(queue.popleft())
+        while inflight:
+            completed, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+            for future in completed:
+                index = inflight.pop(future)
+                try:
+                    payload = future.result()
+                except BaseException as error:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = error
+                    if queue:
+                        submit(queue.popleft())
+                    continue
+                if payload is None:
+                    submit(index)  # next block of the same shard
+                else:
+                    count += 1
+                    commit(index, payload, count)
+                    if queue:
+                        submit(queue.popleft())
+    if first_error is not None:
+        raise first_error
+
+
 def run_sweep(
     spec: SweepSpec,
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    intra_jobs: int = 1,
 ) -> SweepReport:
     """Execute every shard of ``spec``, reusing cached artifacts.
 
@@ -136,10 +247,19 @@ def run_sweep(
         so an interrupted sweep resumes where it stopped.
     progress:
         Optional callable receiving human-readable progress lines.
+    intra_jobs:
+        Round-blocks each shard's market simulations are split into.
+        ``1`` (default) runs shards monolithically; higher values execute
+        each shard as a chain of checkpointed block invocations that
+        pipeline across the worker pool and — with a persistent cache —
+        resume interrupted paper-scale runs at block granularity.  Shard
+        payloads and cache keys are identical in both modes.
     """
     started = time.perf_counter()
     if jobs <= 0:
         jobs = default_jobs()
+    if intra_jobs < 1:
+        raise ValueError("intra_jobs must be at least 1")
     tasks = spec.tasks()
     say = progress or (lambda message: None)
     say(spec.describe())
@@ -168,10 +288,33 @@ def run_sweep(
         ordered[index] = ShardResult(task=tasks[index], payload=payload)
         if cache is not None:
             cache.store(keys[index], payload)
+            # The result artifact supersedes any round-block checkpoints of
+            # this shard — including ones left by an interrupted partitioned
+            # run that this (possibly monolithic) execution just completed.
+            checkpoint_root = cache.root / "checkpoints"
+            if checkpoint_root.is_dir():
+                CheckpointStore(checkpoint_root).prune_scope(keys[index])
         say(f"executed shard {count}/{len(pending)}")
 
     if pending:
-        if jobs == 1 or len(pending) == 1:
+        if intra_jobs > 1:
+            # Round-block chains: checkpoints live next to the result
+            # artifacts when a cache is given (making interrupted runs
+            # resumable across processes), in a throwaway directory
+            # otherwise (workers still need a shared medium for state).
+            if cache is not None:
+                # Week-old scopes are unreachable leftovers (interrupted
+                # runs whose code fingerprint has since changed) — collect
+                # them before adding new ones.
+                CheckpointStore(cache.root / "checkpoints").prune_stale()
+                _run_chains(
+                    tasks, pending, jobs, intra_jobs,
+                    str(cache.root / "checkpoints"), commit,
+                )
+            else:
+                with tempfile.TemporaryDirectory(prefix="repro-intra-") as tmp:
+                    _run_chains(tasks, pending, jobs, intra_jobs, tmp, commit)
+        elif jobs == 1 or len(pending) == 1:
             for count, index in enumerate(pending, start=1):
                 commit(index, _execute_task(tasks[index].to_payload()), count)
         else:
@@ -206,5 +349,6 @@ def run_sweep(
         executed=len(pending),
         cached=len(tasks) - len(pending),
         jobs=jobs,
+        intra_jobs=intra_jobs,
         duration=time.perf_counter() - started,
     )

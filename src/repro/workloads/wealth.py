@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_positive

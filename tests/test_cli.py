@@ -25,7 +25,14 @@ class TestParser:
         args = build_parser().parse_args(["run", "fig4", "--reps", "3", "--jobs", "2"])
         assert args.reps == 3
         assert args.jobs == 2
+        assert args.intra_jobs == 1
         assert args.cache_dir is None
+
+    def test_run_and_sweep_accept_intra_jobs(self):
+        args = build_parser().parse_args(["run", "fig7", "--intra-jobs", "4"])
+        assert args.intra_jobs == 4
+        args = build_parser().parse_args(["sweep", "fig7", "--intra-jobs", "2"])
+        assert args.intra_jobs == 2
 
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep", "fig11"])
@@ -115,6 +122,16 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Sweep aggregate" in output
         assert "stabilized_gini" in output
+
+    def test_sweep_intra_jobs_matches_monolithic_output(self, capsys):
+        argv = ["sweep", "fig7", "--param", "average_wealth=8", "--scale", "smoke"]
+        assert main(argv) == 0
+        monolithic = capsys.readouterr().out
+        assert main(argv + ["--intra-jobs", "2"]) == 0
+        partitioned = capsys.readouterr().out
+        assert "intra_jobs=2" in partitioned
+        # Identical tables; only the execution-summary line differs.
+        assert monolithic.splitlines()[-5:] == partitioned.splitlines()[-5:]
 
     def test_sweep_unknown_experiment_fails(self, capsys):
         assert main(["sweep", "fig99", "--param", "a=1", "--scale", "smoke"]) == 2

@@ -1,8 +1,10 @@
 """Tests for taxation policies and spending-rate policies."""
 
+import numpy as np
 import pytest
 
 from repro.core import CreditLedger, DynamicSpendingPolicy, FixedSpendingPolicy, NoTax, ThresholdIncomeTax
+from repro.core.spending import SpendingPolicy
 from repro.core.taxation import ProportionalRedistributionTax
 
 
@@ -113,3 +115,44 @@ class TestSpendingPolicies:
     def test_describe(self):
         assert "fixed" in FixedSpendingPolicy().describe()
         assert "m=100" in DynamicSpendingPolicy(100.0).describe()
+
+
+class TestEffectiveRateVector:
+    """The vectorised fast path must agree bit-for-bit with the scalar rule."""
+
+    BASES = np.array([0.5, 1.0, 2.0, 3.0, 0.25])
+    WEALTHS = np.array([-5.0, 0.0, 99.9, 100.0, 1234.5])
+
+    def _assert_matches_scalar(self, policy):
+        vector = policy.effective_rate_vector(self.BASES, self.WEALTHS)
+        scalar = np.array(
+            [
+                policy.effective_rate(float(base), float(wealth))
+                for base, wealth in zip(self.BASES, self.WEALTHS)
+            ]
+        )
+        assert vector.tobytes() == scalar.tobytes()
+
+    def test_fixed_policy_vector(self):
+        self._assert_matches_scalar(FixedSpendingPolicy())
+
+    def test_dynamic_policy_vector(self):
+        self._assert_matches_scalar(DynamicSpendingPolicy(wealth_threshold=100.0))
+
+    def test_dynamic_policy_vector_with_cap(self):
+        self._assert_matches_scalar(
+            DynamicSpendingPolicy(wealth_threshold=100.0, max_multiplier=3.0)
+        )
+
+    def test_base_class_fallback_uses_scalar_rule(self):
+        class Halver(DynamicSpendingPolicy):
+            # Inherit only the scalar rule: the base-class vector fallback
+            # must route through it element by element.
+            def effective_rate(self, base_rate, wealth):
+                return 0.5 * float(base_rate)
+
+            effective_rate_vector = SpendingPolicy.effective_rate_vector
+
+        policy = Halver(wealth_threshold=100.0)
+        vector = policy.effective_rate_vector(self.BASES, self.WEALTHS)
+        assert vector.tobytes() == (0.5 * self.BASES).tobytes()

@@ -1,0 +1,195 @@
+"""Cross-mode determinism: kernels, round-block partitioning, intra-jobs.
+
+The PR that vectorised the spending hot path and added intra-run
+parallelism promised that *how* a simulation executes never changes
+*what* it produces.  These tests pin that contract at every layer:
+
+* simulator — the ``loop`` and ``vectorized`` kernels, fed the same
+  configuration, must end in byte-identical :class:`MarketSimResult`\\ s
+  (fig7-shaped symmetric-noise markets and fig10-shaped dynamic-spending
+  markets, plus churn/taxation variants);
+* partition — a run split into checkpointed round-blocks must be
+  byte-identical to the monolithic run;
+* orchestrator — ``run_sweep(..., intra_jobs=2)`` must produce the same
+  shard payloads and aggregate CSV as the monolithic sweep for the fig7
+  and fig10 smoke scenarios.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.spending import DynamicSpendingPolicy, FixedSpendingPolicy
+from repro.core.taxation import ThresholdIncomeTax
+from repro.overlay import ChurnConfig
+from repro.p2psim import CreditMarketSimulator, MarketSimConfig, UtilizationMode
+from repro.runner import (
+    ParamGrid,
+    SweepSpec,
+    aggregate_sweep,
+    run_market_partitioned,
+    run_sweep,
+)
+
+
+def fingerprint(result):
+    """Byte-level identity of everything a MarketSimResult reports."""
+    return (
+        result.final_wealths.tobytes(),
+        result.spending_rates.tobytes(),
+        result.earning_rates.tobytes(),
+        result.total_transfers,
+        result.joins,
+        result.leaves,
+        result.extras["tax_pool"],
+        tuple(result.recorder.gini_series.x),
+        tuple(result.recorder.gini_series.y),
+        tuple(result.recorder.bankrupt_series.y),
+        tuple(result.recorder.mean_wealth_series.y),
+        tuple(result.recorder.population_series.y),
+    )
+
+
+def fig7_like_config(**overrides):
+    """Smoke-scale symmetric market with realised-rate noise (the Fig. 7 shape)."""
+    defaults = dict(
+        num_peers=60,
+        initial_credits=10.0,
+        horizon=300.0,
+        step=2.0,
+        utilization=UtilizationMode.SYMMETRIC,
+        spending_rate_noise=0.05,
+        topology_mean_degree=8.0,
+        sample_interval=50.0,
+        seed=13,
+    )
+    defaults.update(overrides)
+    return MarketSimConfig(**defaults)
+
+
+def fig10_like_config(**overrides):
+    """Smoke-scale asymmetric market under the dynamic spending rule (Fig. 10)."""
+    defaults = dict(
+        num_peers=60,
+        initial_credits=30.0,
+        horizon=400.0,
+        step=2.0,
+        utilization=UtilizationMode.ASYMMETRIC,
+        spending_policy=DynamicSpendingPolicy(wealth_threshold=30.0),
+        topology_mean_degree=8.0,
+        sample_interval=50.0,
+        seed=29,
+    )
+    defaults.update(overrides)
+    return MarketSimConfig(**defaults)
+
+
+CONFIG_FACTORIES = {
+    "fig7-like": fig7_like_config,
+    "fig10-like": fig10_like_config,
+}
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("shape", sorted(CONFIG_FACTORIES))
+    def test_loop_and_vectorized_kernels_byte_identical(self, shape):
+        config = CONFIG_FACTORIES[shape]()
+        vectorized = CreditMarketSimulator.run_config(
+            dataclasses.replace(config, kernel="vectorized")
+        )
+        loop = CreditMarketSimulator.run_config(dataclasses.replace(config, kernel="loop"))
+        assert fingerprint(vectorized) == fingerprint(loop)
+
+    def test_kernels_agree_under_churn_and_taxation(self):
+        config = fig7_like_config(
+            churn=ChurnConfig(arrival_rate=0.2, mean_lifespan=150.0),
+            tax_policy=ThresholdIncomeTax(rate=0.2, threshold=8.0),
+        )
+        vectorized = CreditMarketSimulator.run_config(
+            dataclasses.replace(config, kernel="vectorized")
+        )
+        loop = CreditMarketSimulator.run_config(dataclasses.replace(config, kernel="loop"))
+        assert vectorized.joins > 0 and vectorized.leaves > 0  # churn exercised
+        assert fingerprint(vectorized) == fingerprint(loop)
+
+    def test_boundary_draw_routes_to_last_neighbour(self):
+        # u + 3*row can round up to exactly the row's final cdf value (e.g.
+        # u = 1 - 2**-53 at row 1 rounds to 4.0); both kernels must clamp
+        # that onto the last real neighbour instead of indexing the padding.
+        simulator = CreditMarketSimulator(fig7_like_config())
+        pack = simulator._routing_pack()
+        count = pack.alive_slots.size
+        spendable = np.ones(count, dtype=np.int64)
+        draws = np.full(count, 1.0 - 2.0**-53)
+        vectorized = simulator._route_credits_vectorized(pack, spendable, draws).copy()
+        loop = simulator._route_credits_loop(pack, spendable, draws).copy()
+        assert vectorized.tobytes() == loop.tobytes()
+        assert vectorized.sum() == count  # every credit landed on a real peer
+        assert np.all(vectorized[~simulator._alive] == 0.0)
+
+    def test_dynamic_policy_takes_vector_fast_path(self):
+        # The dynamic rule must visibly accelerate rich peers through the
+        # vectorised path (guards against the fast path silently returning
+        # base rates).
+        config = fig10_like_config(initial_credits=90.0)
+        dynamic = CreditMarketSimulator.run_config(config)
+        fixed = CreditMarketSimulator.run_config(
+            dataclasses.replace(config, spending_policy=FixedSpendingPolicy())
+        )
+        assert dynamic.total_transfers > fixed.total_transfers
+
+
+class TestPartitionEquivalence:
+    @pytest.mark.parametrize("shape", sorted(CONFIG_FACTORIES))
+    @pytest.mark.parametrize("blocks", [2, 3, 7])
+    def test_round_blocks_byte_identical_to_monolithic(self, shape, blocks):
+        config = CONFIG_FACTORIES[shape]()
+        monolithic = CreditMarketSimulator.run_config(config)
+        partitioned = run_market_partitioned(config, blocks=blocks)
+        assert fingerprint(monolithic) == fingerprint(partitioned)
+
+    def test_partitioned_snapshots_match(self):
+        config = fig7_like_config()
+        times = [100.0, 200.0]
+        monolithic = CreditMarketSimulator(config, snapshot_times=times).run()
+        partitioned = run_market_partitioned(config, blocks=3, snapshot_times=times)
+        assert set(partitioned.recorder.snapshots) == set(monolithic.recorder.snapshots)
+        for time in times:
+            np.testing.assert_array_equal(
+                partitioned.recorder.snapshots[time], monolithic.recorder.snapshots[time]
+            )
+
+
+def _sweep_spec(experiment_id, grid):
+    return SweepSpec(experiment_id, grid=grid, replications=2, base_seed=17, scale="smoke")
+
+
+SWEEP_SPECS = {
+    "fig7": _sweep_spec("fig7", ParamGrid({"average_wealth": [8.0, 16.0]})),
+    # fig9 reads mutable tax-policy counters back after each run — the
+    # partitioned path must sync them onto the caller's policy objects.
+    "fig9": _sweep_spec("fig9", ParamGrid({"tax_rate": [0.2], "tax_threshold": [20.0, 40.0]})),
+    "fig10": _sweep_spec(
+        "fig10",
+        [{"spending_policy": "fixed"}, {"spending_policy": "dynamic", "wealth_threshold": 20.0}],
+    ),
+}
+
+
+class TestIntraJobsSweepEquivalence:
+    @pytest.mark.parametrize("experiment_id", sorted(SWEEP_SPECS))
+    def test_monolithic_vs_intra_jobs_aggregates_byte_identical(self, experiment_id):
+        spec = SWEEP_SPECS[experiment_id]
+        monolithic = run_sweep(spec, jobs=1)
+        chained = run_sweep(spec, jobs=1, intra_jobs=2)
+        pooled = run_sweep(spec, jobs=2, intra_jobs=2)
+        assert monolithic.executed == chained.executed == pooled.executed == 4
+        assert (
+            [shard.payload for shard in monolithic.shards]
+            == [shard.payload for shard in chained.shards]
+            == [shard.payload for shard in pooled.shards]
+        )
+        reference = aggregate_sweep(monolithic).to_csv()
+        assert aggregate_sweep(chained).to_csv() == reference
+        assert aggregate_sweep(pooled).to_csv() == reference

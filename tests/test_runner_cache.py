@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.experiments.common import ExperimentResult
 from repro.runner import (
