@@ -1,0 +1,139 @@
+"""Benchmark: streaming-kernel tick throughput, loop vs vectorized.
+
+Times ``StreamingMarketSimulator.advance_rounds`` (construction excluded)
+for the per-peer **loop** kernel — the per-peer/per-chunk scheduling walk
+that was the pre-batching hot path — and the batched **vectorized**
+kernel at several populations, verifies the two produce bit-identical end
+states, and records the numbers to ``BENCH_streamkernel.json`` at the
+repo root.
+
+Two profiles share one recording format:
+
+* the default (full) profile measures 100 / 500 / 1000 peers — the
+  paper's population range — and is what the committed baseline holds;
+* ``REPRO_BENCH_STREAMKERNEL=smoke`` measures only the small populations;
+  CI runs it on every PR and ``check_bench_regression.py`` compares the
+  overlapping populations against the committed baseline (>30% throughput
+  regression of *either* kernel fails).
+
+``REPRO_BENCH_STREAMKERNEL_OUT`` redirects the output file (CI writes to
+a scratch path so the committed baseline stays pristine).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.p2psim import StreamingMarketSimulator, StreamingSimConfig
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_streamkernel.json"
+
+#: (num_peers, simulated ticks) per profile.  Ticks shrink with the
+#: population so every measurement stays in wall-clock seconds.  The smoke
+#: profile is a strict prefix of the full one — identical (peers, ticks)
+#: pairs — so CI's smoke numbers compare like-for-like against the
+#: committed full-profile baseline.
+PROFILES = {
+    "full": [(100, 200), (500, 60), (1000, 30)],
+    "smoke": [(100, 200), (500, 60)],
+}
+
+KERNELS = ("loop", "vectorized")
+
+#: Timing repeats per kernel (best-of): the gated vectorized kernel gets
+#: extra repeats because its runs are cheap and CI runners are noisy.
+REPEATS = {"loop": 2, "vectorized": 4}
+
+
+def _config(num_peers: int, ticks: int, kernel: str) -> StreamingSimConfig:
+    return StreamingSimConfig(
+        num_peers=num_peers,
+        initial_credits=100.0,
+        horizon=float(ticks),
+        sample_interval=float(ticks),  # one warm-up sample, one final
+        kernel=kernel,
+        seed=1,
+    )
+
+
+def _state_fingerprint(simulator: StreamingMarketSimulator) -> tuple:
+    return (
+        simulator._balance.tobytes(),
+        simulator._spent_win.tobytes(),
+        simulator._earned_win.tobytes(),
+        simulator._uploads_total.tobytes(),
+        simulator.chunks_delivered,
+    )
+
+
+def _measure(num_peers: int, ticks: int, kernel: str) -> dict:
+    """Best-of-``REPEATS[kernel]`` timing of one (population, kernel) cell."""
+    best = None
+    for _ in range(REPEATS[kernel]):
+        simulator = StreamingMarketSimulator(_config(num_peers, ticks, kernel))
+        started = time.perf_counter()
+        simulator.advance_rounds(ticks)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best["seconds"]:
+            best = {
+                "seconds": elapsed,
+                "ticks_per_second": ticks / elapsed,
+                "chunks": simulator.chunks_delivered,
+                "fingerprint": _state_fingerprint(simulator),
+            }
+    return best
+
+
+def test_streamkernel_throughput():
+    profile = os.environ.get("REPRO_BENCH_STREAMKERNEL", "full")
+    if profile not in PROFILES:
+        raise SystemExit(
+            f"unknown REPRO_BENCH_STREAMKERNEL profile {profile!r}; "
+            f"known: {', '.join(PROFILES)}"
+        )
+    populations = []
+    for num_peers, ticks in PROFILES[profile]:
+        measured = {kernel: _measure(num_peers, ticks, kernel) for kernel in KERNELS}
+        # The two kernels must tell the same story before their timings are
+        # comparable: identical balances, counters and delivery totals.
+        assert (
+            measured["loop"]["fingerprint"] == measured["vectorized"]["fingerprint"]
+        ), f"kernels diverged at {num_peers} peers"
+        populations.append(
+            {
+                "num_peers": num_peers,
+                "ticks": ticks,
+                "chunks": measured["vectorized"]["chunks"],
+                "loop_ticks_per_second": round(
+                    measured["loop"]["ticks_per_second"], 2
+                ),
+                "vectorized_ticks_per_second": round(
+                    measured["vectorized"]["ticks_per_second"], 2
+                ),
+                "speedup": round(
+                    measured["vectorized"]["ticks_per_second"]
+                    / measured["loop"]["ticks_per_second"],
+                    3,
+                ),
+            }
+        )
+
+    record = {
+        "profile": profile,
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernels_byte_identical": True,
+        "populations": populations,
+    }
+    output = Path(os.environ.get("REPRO_BENCH_STREAMKERNEL_OUT") or OUTPUT_PATH)
+    output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(record, indent=2))

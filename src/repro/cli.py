@@ -27,10 +27,17 @@ run through the orchestrator too, printing the experiment's own tables);
 anything executes) sharded over worker processes, with optional artifact
 caching so interrupted or repeated sweeps skip completed shards.  Both
 ``run`` and ``sweep`` accept ``--intra-jobs N`` to additionally split
-every market simulation into N checkpointed round-blocks that pipeline
-across the worker pool and (with ``--cache-dir``) resume interrupted
-paper-scale runs at block granularity — byte-identical to the monolithic
-run in every case.
+every market *and* streaming simulation into N checkpointed round-blocks
+that pipeline across the worker pool and (with ``--cache-dir``) resume
+interrupted paper-scale runs at block granularity — byte-identical to the
+monolithic run in every case.  The streaming experiments (``fig5_6`` and
+``fig11`` via their ``simulator=streaming`` axis, ``fig1`` natively)
+additionally expose a ``kernel`` sweep axis selecting the batched
+(``vectorized``) or per-peer (``loop``) scheduling round — results are
+bit-identical between the kernels::
+
+    python -m repro.cli sweep fig5_6 --param simulator=streaming \
+        --param kernel=loop,vectorized --scale smoke
 """
 
 from __future__ import annotations
@@ -67,8 +74,8 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help=(
-            "round-blocks each market simulation is split into; blocks "
-            "checkpoint into the cache and pipeline across workers "
+            "round-blocks each market/streaming simulation is split into; "
+            "blocks checkpoint into the cache and pipeline across workers "
             "(results are byte-identical to monolithic runs; default: "
             "%(default)s)"
         ),

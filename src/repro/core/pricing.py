@@ -68,6 +68,32 @@ class PricingScheme:
     def reset_round(self) -> None:
         """Hook invoked at the start of each scheduling round (stateful schemes override)."""
 
+    def price_array(self, seller_ids: Sequence[int], chunk_index: int) -> np.ndarray:
+        """Posted prices of many sellers for one chunk, as a float array.
+
+        The batched simulators quote a whole column of sellers at once;
+        the generic implementation loops over :meth:`price`, flat-price
+        schemes override with a single array operation.
+        """
+        return np.array(
+            [self.price(int(seller), int(chunk_index)) for seller in seller_ids],
+            dtype=float,
+        )
+
+    def is_stateful(self) -> bool:
+        """Whether purchases feed back into future prices or settlements.
+
+        True when the scheme overrides :meth:`settle`, :meth:`note_purchase`
+        or :meth:`reset_round` — the batched simulators then settle each
+        purchase through the scalar hooks (in a deterministic order shared
+        by every kernel) instead of the posted-price fast path.
+        """
+        return (
+            type(self).settle is not PricingScheme.settle
+            or type(self).note_purchase is not PricingScheme.note_purchase
+            or type(self).reset_round is not PricingScheme.reset_round
+        )
+
     def mean_price(self) -> float:
         """The scheme's average per-chunk price (used to size spending rates)."""
         raise NotImplementedError
@@ -85,6 +111,9 @@ class UniformPricing(PricingScheme):
 
     def price(self, seller_id: int, chunk_index: int, buyer_id: Optional[int] = None) -> float:
         return self.price_per_chunk
+
+    def price_array(self, seller_ids: Sequence[int], chunk_index: int) -> np.ndarray:
+        return np.full(len(seller_ids), self.price_per_chunk, dtype=float)
 
     def mean_price(self) -> float:
         return self.price_per_chunk
@@ -123,6 +152,15 @@ class PerPeerFlatPricing(PricingScheme):
     def set_price(self, seller_id: int, value: float) -> None:
         """Update one seller's posted price."""
         self._prices[int(seller_id)] = check_non_negative(value, "value")
+
+    def price_array(self, seller_ids: Sequence[int], chunk_index: int) -> np.ndarray:
+        get = self._prices.get
+        default = self.default_price
+        return np.fromiter(
+            (get(int(seller), default) for seller in seller_ids),
+            dtype=float,
+            count=len(seller_ids),
+        )
 
     def mean_price(self) -> float:
         if not self._prices:

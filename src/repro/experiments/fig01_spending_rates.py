@@ -56,7 +56,14 @@ MEAN_CHUNK_PRICE = 1.0
 PRICING_MODELS = ("uniform", "poisson-seller")
 
 #: Parameters `run_point` accepts as sweep axes.
-SWEEP_PARAMS = ("initial_credits", "pricing_model", "mean_price", "num_peers", "horizon")
+SWEEP_PARAMS = (
+    "initial_credits",
+    "pricing_model",
+    "mean_price",
+    "num_peers",
+    "horizon",
+    "kernel",
+)
 
 
 def _poisson_seller_prices(num_peers: int, mean_price: float, seed: int) -> PerPeerFlatPricing:
@@ -87,6 +94,7 @@ def _run_case(
     initial_credits: float,
     pricing: PricingScheme,
     seed: int,
+    kernel: str | None = None,
 ) -> dict:
     """Run one streaming-market configuration and summarise it."""
     config = StreamingSimConfig(
@@ -98,6 +106,7 @@ def _run_case(
         seed_fanout=max(4, params["num_peers"] // 7),
         sample_interval=max(10.0, params["horizon"] / 20.0),
         seed=seed,
+        **({} if kernel is None else {"kernel": str(kernel)}),
     )
     result = StreamingMarketSimulator.run_config(config)
     summary = wealth_summary(result.final_wealths)
@@ -127,13 +136,15 @@ def run_point(
     mean_price: float = MEAN_CHUNK_PRICE,
     num_peers: int | None = None,
     horizon: float | None = None,
+    kernel: str | None = None,
 ) -> ExperimentResult:
     """Run a single Fig. 1 streaming-market configuration as a sweep shard.
 
     The sweep axes cross the paper's two levers — initial wealth and the
     pricing model (``uniform`` vs ``poisson-seller``) — plus the mean
-    chunk price and the usual population/horizon knobs.  ``initial_credits``
-    defaults to the scale preset's healthy-case wealth.
+    chunk price, the usual population/horizon knobs and the streaming
+    scheduling ``kernel`` (``vectorized``/``loop``, bit-identical results).
+    ``initial_credits`` defaults to the scale preset's healthy-case wealth.
     """
     params = scale_parameters(
         scale,
@@ -152,7 +163,7 @@ def run_point(
     pricing_model = str(pricing_model)
 
     pricing = _make_pricing(pricing_model, mean_price, params["num_peers"], seed)
-    outcome = _run_case(params, initial_credits, pricing, seed)
+    outcome = _run_case(params, initial_credits, pricing, seed, kernel=kernel)
     realized_mean_price = float(
         np.mean([pricing.price(peer, 0) for peer in range(params["num_peers"])])
     )
@@ -164,6 +175,7 @@ def run_point(
         initial_credits=initial_credits,
         pricing_model=pricing_model,
         mean_price=mean_price,
+        kernel=kernel,
     )
     label = f"{pricing_model} prices, c={initial_credits:g}"
     table = ResultTable(title=TITLE, metadata=metadata)

@@ -22,8 +22,9 @@ from typing import List
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, Scale, scale_parameters
-from repro.p2psim.config import MarketSimConfig, UtilizationMode
+from repro.p2psim.config import MarketSimConfig, StreamingSimConfig, UtilizationMode
 from repro.p2psim.market_sim import CreditMarketSimulator
+from repro.p2psim.streaming_sim import StreamingMarketSimulator
 from repro.utils.records import ResultTable, SeriesRecord
 
 __all__ = ["run", "run_point", "profile_distance"]
@@ -31,8 +32,20 @@ __all__ = ["run", "run_point", "profile_distance"]
 EXPERIMENT_ID = "fig5_6"
 TITLE = "Figs. 5-6 — convergence of the credit distribution (early vs late profiles)"
 
+#: Simulators `run_point` accepts for its ``simulator`` axis: the
+#: transaction-level market simulator (fast, the default) or the
+#: chunk-level streaming simulator (the paper's actual Sec. VI-A setting).
+SIMULATORS = ("market", "streaming")
+
 #: Parameters `run_point` accepts as sweep axes.
-SWEEP_PARAMS = ("num_peers", "horizon", "initial_credits", "num_snapshots")
+SWEEP_PARAMS = (
+    "num_peers",
+    "horizon",
+    "initial_credits",
+    "num_snapshots",
+    "simulator",
+    "kernel",
+)
 
 
 def profile_distance(profiles: List[np.ndarray]) -> float:
@@ -55,6 +68,8 @@ def run_point(
     horizon: float | None = None,
     initial_credits: float | None = None,
     num_snapshots: int | None = None,
+    simulator: str = "market",
+    kernel: str | None = None,
 ) -> ExperimentResult:
     """Run one convergence study as a sweep shard.
 
@@ -62,8 +77,17 @@ def run_point(
     initial wealth and snapshot count); each defaults to the scale preset.
     Sweeping ``horizon`` reproduces the paper's early/late contrast at
     several observation windows, sweeping ``num_peers`` its size
-    sensitivity.
+    sensitivity.  ``simulator="streaming"`` runs the chunk-level streaming
+    market instead of the transaction-level one (Sec. VI-A's actual
+    setting), and ``kernel`` selects the batched (``"vectorized"``) or
+    per-peer (``"loop"``) round implementation of either simulator — both
+    kernels produce bit-identical results.
     """
+    simulator = str(simulator)
+    if simulator not in SIMULATORS:
+        raise ValueError(
+            f"unknown simulator {simulator!r}; known simulators: {', '.join(SIMULATORS)}"
+        )
     params = scale_parameters(
         scale,
         smoke=dict(num_peers=60, horizon=600.0, step=2.0, initial_credits=20.0, num_snapshots=3),
@@ -90,18 +114,32 @@ def run_point(
     # utilization), late snapshots in the converged second half of the run.
     early_times = list(np.geomspace(horizon * 0.005, horizon * 0.15, count))
     late_times = list(np.linspace(horizon * 0.6, horizon, count))
-    config = MarketSimConfig(
-        num_peers=params["num_peers"],
-        initial_credits=params["initial_credits"],
-        horizon=horizon,
-        step=params["step"],
-        utilization=UtilizationMode.SYMMETRIC,
-        sample_interval=max(params["step"], horizon / 200.0),
-        seed=seed,
-    )
-    result = CreditMarketSimulator.run_config(
-        config, snapshot_times=early_times + late_times
-    )
+    if simulator == "streaming":
+        streaming_config = StreamingSimConfig(
+            num_peers=params["num_peers"],
+            initial_credits=params["initial_credits"],
+            horizon=horizon,
+            sample_interval=max(1.0, horizon / 200.0),
+            seed=seed,
+            **({} if kernel is None else {"kernel": str(kernel)}),
+        )
+        result = StreamingMarketSimulator.run_config(
+            streaming_config, snapshot_times=early_times + late_times
+        )
+    else:
+        config = MarketSimConfig(
+            num_peers=params["num_peers"],
+            initial_credits=params["initial_credits"],
+            horizon=horizon,
+            step=params["step"],
+            utilization=UtilizationMode.SYMMETRIC,
+            sample_interval=max(params["step"], horizon / 200.0),
+            seed=seed,
+            **({} if kernel is None else {"kernel": str(kernel)}),
+        )
+        result = CreditMarketSimulator.run_config(
+            config, snapshot_times=early_times + late_times
+        )
 
     snapshots = result.recorder.snapshots
     early_profiles = [snapshots[t] for t in early_times if t in snapshots]
@@ -119,7 +157,10 @@ def run_point(
                 curve.append(float(index * step), float(wealth))
             series.append(curve)
 
-    table = ResultTable(title=TITLE, metadata=dict(params, scale=str(scale), seed=seed))
+    metadata = dict(
+        params, scale=str(scale), seed=seed, simulator=simulator, kernel=kernel
+    )
+    table = ResultTable(title=TITLE, metadata=metadata)
     table.add_row(
         stage="early (Fig. 5)",
         num_profiles=len(early_profiles),
@@ -138,7 +179,7 @@ def run_point(
         title=TITLE,
         tables=[table],
         series=series,
-        metadata=dict(params, scale=str(scale), seed=seed),
+        metadata=metadata,
     )
 
 

@@ -25,8 +25,9 @@ from typing import Optional
 
 from repro.experiments.common import ExperimentResult, Scale, scale_parameters
 from repro.overlay.churn import ChurnConfig
-from repro.p2psim.config import MarketSimConfig, UtilizationMode
+from repro.p2psim.config import MarketSimConfig, StreamingSimConfig, UtilizationMode
 from repro.p2psim.market_sim import CreditMarketSimulator
+from repro.p2psim.streaming_sim import StreamingMarketSimulator
 from repro.utils.records import ResultTable
 
 __all__ = ["run", "run_point"]
@@ -34,8 +35,19 @@ __all__ = ["run", "run_point"]
 EXPERIMENT_ID = "fig11"
 TITLE = "Fig. 11 — impact of peer dynamics on the skewness of the credit distribution"
 
+#: Simulators `run_point` accepts for its ``simulator`` axis.
+SIMULATORS = ("market", "streaming")
+
 #: Parameters `run_point` accepts as sweep axes.
-SWEEP_PARAMS = ("mean_lifespan", "rate_factor", "arrival_rate", "num_peers", "horizon")
+SWEEP_PARAMS = (
+    "mean_lifespan",
+    "rate_factor",
+    "arrival_rate",
+    "num_peers",
+    "horizon",
+    "simulator",
+    "kernel",
+)
 
 
 def run_point(
@@ -46,6 +58,8 @@ def run_point(
     arrival_rate: float | None = None,
     num_peers: int | None = None,
     horizon: float | None = None,
+    simulator: str = "market",
+    kernel: str | None = None,
 ) -> ExperimentResult:
     """Run one churn setting of the Fig. 11 study as a sweepable grid point.
 
@@ -53,8 +67,17 @@ def run_point(
     lifespan, the arrival rate defaults to ``rate_factor × population /
     mean_lifespan`` — ``rate_factor=1`` keeps the expected overlay size
     equal to the static population — or can be fixed directly with
-    ``arrival_rate``.
+    ``arrival_rate``.  ``simulator="streaming"`` runs the chunk-level
+    streaming market under churn instead of the transaction-level one, and
+    ``kernel`` selects either simulator's batched (``"vectorized"``) or
+    per-peer (``"loop"``) round implementation — bit-identical results
+    either way.
     """
+    simulator = str(simulator)
+    if simulator not in SIMULATORS:
+        raise ValueError(
+            f"unknown simulator {simulator!r}; known simulators: {', '.join(SIMULATORS)}"
+        )
     params = scale_parameters(
         scale,
         smoke=dict(num_peers=60, initial_credits=20.0, horizon=500.0, step=2.0),
@@ -87,7 +110,7 @@ def run_point(
         churn = ChurnConfig(arrival_rate=rate, mean_lifespan=mean_lifespan)
         label = f"lifespan={mean_lifespan:.0f}s, arr. rate={rate:.2g}/s"
 
-    outcome = _run_single(params, churn, label, seed)
+    outcome = _run_single(params, churn, label, seed, simulator=simulator, kernel=kernel)
     metadata = dict(
         params,
         scale=str(scale),
@@ -95,6 +118,8 @@ def run_point(
         mean_lifespan=mean_lifespan,
         arrival_rate=rate,
         rate_factor=float(rate_factor),
+        simulator=simulator,
+        kernel=kernel,
     )
     table = ResultTable(title=TITLE, metadata=metadata)
     table.add_row(
@@ -121,19 +146,35 @@ def _run_single(
     churn: Optional[ChurnConfig],
     label: str,
     seed: int,
+    simulator: str = "market",
+    kernel: str | None = None,
 ) -> dict:
     """Run one churn setting and summarise it."""
-    config = MarketSimConfig(
-        num_peers=params["num_peers"],
-        initial_credits=params["initial_credits"],
-        horizon=params["horizon"],
-        step=params["step"],
-        utilization=UtilizationMode.ASYMMETRIC,
-        churn=churn,
-        sample_interval=max(params["step"], params["horizon"] / 80.0),
-        seed=seed,
-    )
-    result = CreditMarketSimulator.run_config(config)
+    kernel_kw = {} if kernel is None else {"kernel": str(kernel)}
+    if simulator == "streaming":
+        streaming_config = StreamingSimConfig(
+            num_peers=params["num_peers"],
+            initial_credits=params["initial_credits"],
+            horizon=params["horizon"],
+            churn=churn,
+            sample_interval=max(1.0, params["horizon"] / 80.0),
+            seed=seed,
+            **kernel_kw,
+        )
+        result = StreamingMarketSimulator.run_config(streaming_config)
+    else:
+        config = MarketSimConfig(
+            num_peers=params["num_peers"],
+            initial_credits=params["initial_credits"],
+            horizon=params["horizon"],
+            step=params["step"],
+            utilization=UtilizationMode.ASYMMETRIC,
+            churn=churn,
+            sample_interval=max(params["step"], params["horizon"] / 80.0),
+            seed=seed,
+            **kernel_kw,
+        )
+        result = CreditMarketSimulator.run_config(config)
     gini_series = result.recorder.gini_series
     gini_series.label = label
     return {

@@ -10,14 +10,19 @@ detail:
   taxation, dynamic spending rates and peer churn, and is fast enough to
   sweep the parameter ranges of Figs. 3 and 7–11.
 * :class:`~repro.p2psim.streaming_sim.StreamingMarketSimulator` — a
-  chunk-level discrete-event simulator of the UUSee-like mesh-pull
-  streaming protocol with per-chunk credit settlement (buffer maps, chunk
-  scheduling, playback), used for Figs. 1, 5 and 6 where chunk-level
+  chunk-level simulator of the UUSee-like mesh-pull streaming protocol
+  with per-chunk credit settlement (availability windows, chunk
+  scheduling, upload-slot admission, playback), used for Figs. 1, 5 and 6
+  — and, with a churn configuration, Fig. 11 — where chunk-level
   behaviour (spending rates, convergence of the wealth profile) is the
   quantity of interest.
 
-Both share the :class:`~repro.p2psim.recorder.WealthRecorder` for Gini /
-snapshot time series.
+Both simulators advance in synchronous rounds over slot-indexed arrays,
+offer bit-identical ``"vectorized"`` / ``"loop"`` kernels for their hot
+round (see each config's ``kernel`` field), partition into checkpointed
+round-blocks (:mod:`repro.runner.partition`), and share the
+:class:`~repro.p2psim.recorder.WealthRecorder` for Gini / snapshot time
+series.
 """
 
 from repro.p2psim.config import MarketSimConfig, StreamingSimConfig, UtilizationMode

@@ -165,8 +165,22 @@ class StreamingSimConfig:
         As in :class:`MarketSimConfig`.
     topology_shape / topology_mean_degree:
         Scale-free overlay parameters.
+    churn:
+        Optional churn configuration; ``None`` streams on a static overlay.
+        Joining peers receive ``initial_credits`` and tune in near the live
+        edge; departing peers take their credits out of the economy, as in
+        the market simulator.
     sample_interval:
         Seconds between recorder samples.
+    kernel:
+        Scheduling-round implementation: ``"vectorized"`` (default) stacks
+        every alive peer's chunk-request routing — candidate scoring,
+        supplier choice, upload-slot admission — into array operations over
+        the whole swarm; ``"loop"`` walks peers and window positions in a
+        per-peer Python loop.  Both kernels consume the same random draws
+        and produce bit-identical results — the loop kernel exists as the
+        throughput baseline ``benchmarks/bench_streamkernel.py`` compares
+        against.
     seed:
         Base RNG seed.
     """
@@ -188,7 +202,9 @@ class StreamingSimConfig:
     tax_policy: TaxPolicy = field(default_factory=NoTax)
     topology_shape: float = 2.5
     topology_mean_degree: float = 20.0
+    churn: Optional[ChurnConfig] = None
     sample_interval: float = 30.0
+    kernel: str = "vectorized"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -215,5 +231,7 @@ class StreamingSimConfig:
             raise ValueError("startup_chunks must be non-negative")
         if self.transfer_latency < 0:
             raise ValueError("transfer_latency must be non-negative")
+        if self.kernel not in ("vectorized", "loop"):
+            raise ValueError("kernel must be 'vectorized' or 'loop'")
         if self.topology_mean_degree >= self.num_peers:
             raise ValueError("topology_mean_degree must be smaller than num_peers")

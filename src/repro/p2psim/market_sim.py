@@ -22,12 +22,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.taxation import NoTax, ThresholdIncomeTax
 from repro.overlay.generators import scale_free_topology
 from repro.overlay.membership import MembershipTracker
 from repro.overlay.topology import OverlayTopology
 from repro.p2psim.config import MarketSimConfig, UtilizationMode
 from repro.p2psim.recorder import WealthRecorder
+from repro.p2psim.slots import apply_income_taxation, apply_round_churn
 from repro.queueing.routing import RoutingMatrix
 from repro.queueing.traffic import solve_traffic_equations
 from repro.utils.rng import make_rng
@@ -305,70 +305,17 @@ class CreditMarketSimulator:
     # ------------------------------------------------------------------ churn
 
     def _apply_churn(self, dt: float) -> None:
-        churn = self.config.churn
-        if churn is None:
-            return
-        rng = self._rng
-        # Departures: each alive peer leaves within dt with probability 1 - exp(-dt/lifespan).
-        departure_probability = 1.0 - np.exp(-dt / churn.mean_lifespan)
-        alive_slots = np.flatnonzero(self._alive)
-        departing = alive_slots[rng.random(alive_slots.size) < departure_probability]
-        for slot in departing:
-            peer_id = self._peer_of[int(slot)]
-            if self.topology.num_peers <= 2:
-                break
-            former_neighbors = self._tracker.leave(peer_id)
-            self._evict(peer_id)
-            self.leaves += 1
-            for neighbor in former_neighbors:
-                self._refresh_routing_row(neighbor)
-        # Arrivals: Poisson number of new peers, each endowed with the initial credits.
-        arrivals = rng.poisson(churn.arrival_rate * dt)
-        for _ in range(int(arrivals)):
-            peer_id = self._tracker.join()
-            self._admit(peer_id, self._default_spending_rate())
-            self.joins += 1
+        apply_round_churn(
+            self,
+            dt,
+            admit=lambda peer_id: self._admit(peer_id, self._default_spending_rate()),
+            refresh_neighbor=self._refresh_routing_row,
+        )
 
     # ------------------------------------------------------------------ taxation
 
     def _apply_taxation(self, income: np.ndarray) -> None:
-        policy = self.config.tax_policy
-        if isinstance(policy, NoTax):
-            return
-        alive_slots = np.flatnonzero(self._alive)
-        if alive_slots.size == 0:
-            return
-        if isinstance(policy, ThresholdIncomeTax):
-            # Vectorised fast path for the paper's taxation rule.
-            balances = self._balance[alive_slots]
-            incomes = income[alive_slots]
-            taxable = (balances > policy.threshold) & (incomes > 0)
-            taxes = np.where(taxable, np.minimum(incomes * policy.rate, balances), 0.0)
-            self._balance[alive_slots] -= taxes
-            collected = float(taxes.sum())
-            self._tax_pool += collected
-            policy.total_collected += collected
-            rebate_cost = policy.rebate_unit * alive_slots.size
-            while rebate_cost > 0 and self._tax_pool >= rebate_cost:
-                self._balance[alive_slots] += policy.rebate_unit
-                self._tax_pool -= rebate_cost
-                policy.total_rebated += rebate_cost
-                policy.rebate_rounds += 1
-            return
-        # Generic (slower) path for custom policies: apply per peer through a
-        # minimal ledger facade.
-        from repro.core.credits import CreditLedger
-
-        ledger = CreditLedger(record_transactions=False)
-        for slot in alive_slots:
-            ledger.open_wallet(int(slot), float(self._balance[slot]))
-        population = [int(slot) for slot in alive_slots]
-        for slot in alive_slots:
-            if income[slot] > 0:
-                policy.on_income(ledger, int(slot), float(income[slot]), self._time, population)
-        for slot in alive_slots:
-            self._balance[slot] = ledger.wallet(int(slot)).balance
-        self._tax_pool += ledger.system_pool
+        apply_income_taxation(self, income, self._time)
 
     # ------------------------------------------------------------------ main loop
 
@@ -550,7 +497,7 @@ class CreditMarketSimulator:
 
         context = active_context()
         if context is not None:
-            return context.run_market(
+            return context.run_simulation(
                 cls, config, topology=topology, snapshot_times=snapshot_times
             )
         return cls(config, topology=topology, snapshot_times=snapshot_times).run()

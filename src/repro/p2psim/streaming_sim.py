@@ -1,4 +1,4 @@
-"""Chunk-level discrete-event simulator of a credit-incentivized streaming swarm.
+"""Batched chunk-level simulator of a credit-incentivized streaming swarm.
 
 This is the detailed counterpart of
 :class:`~repro.p2psim.market_sim.CreditMarketSimulator`: instead of moving
@@ -8,39 +8,101 @@ bought from a neighbour:
 
 * the source emits the live chunk stream and seeds every new chunk to a few
   random peers;
-* every ``scheduling_interval`` seconds each peer looks at the buffer maps
-  of its neighbours, picks the missing chunks closest to its playback
-  deadline, chooses the cheapest supplier for each and pays the supplier's
-  price from its wallet (skipping chunks it cannot afford — the budget
-  constraint that couples wealth to download performance);
+* once per ``scheduling_interval`` every peer looks at the availability of
+  the chunks between its playback point and the live edge, requests the
+  missing ones closest to their playback deadline from a supplier chosen by
+  the configured policy, and pays the supplier's posted price from its
+  wallet (skipping chunks it cannot afford — the budget constraint that
+  couples wealth to download performance);
+* suppliers admit at most ``upload_capacity`` uploads per interval;
 * purchased chunks arrive after a transfer latency and playback advances at
   the stream rate, recording continuity.
 
 The simulator produces per-peer credit spending rates (Fig. 1), wealth
-profiles over time (Figs. 5–6) and the same Gini time series as the market
-simulator, at higher fidelity and higher cost.
+profiles over time (Figs. 5–6) and — with a churn configuration — the
+dynamic-overlay Gini series of Fig. 11, at higher fidelity than the market
+simulator.
+
+Execution model
+---------------
+Earlier revisions drove every peer through its own discrete-event process
+(one heap event per peer per scheduling round, one per chunk delivery),
+which made the per-peer Python loop the dominant cost of every paper-scale
+streaming scenario.  The simulator now advances in **synchronous ticks** of
+one scheduling interval: peer state lives in slot-indexed numpy arrays
+behind an alive mask, chunk availability is a sliding boolean window over
+the live stream, and the whole scheduling round — candidate scoring,
+supplier choice, upload-slot admission — executes as one batched kernel
+over all alive peers.
+
+Two kernels implement the identical round semantics and consume the
+identical random draws (one tie-break uniform per (peer, window-position)
+cell, drawn tick-wise before the kernel runs):
+
+* ``kernel="vectorized"`` (default) stacks the round into array
+  operations — the measured hot path;
+* ``kernel="loop"`` walks peers and window positions in a per-peer Python
+  loop — the benchmark baseline (``benchmarks/bench_streamkernel.py``).
+
+Results are bit-identical between the kernels by construction.  Because
+each tick depends only on the simulator's (fully picklable) state, runs
+also partition into checkpointed round-blocks
+(:mod:`repro.runner.partition`) that are bit-identical to the monolithic
+run.
+
+Churn (Sec. VI-E) follows the market simulator's round-based model: per
+tick, each alive peer departs with probability ``1 − exp(−dt/lifespan)``
+and a Poisson number of peers arrives, each endowed with the initial
+credits and wired into the overlay by the membership tracker.  Topology
+surgery only touches the affected peers' compacted neighbour rows, so it
+commutes with the batched tick.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.credits import CreditLedger
 from repro.overlay.generators import scale_free_topology
+from repro.overlay.membership import MembershipTracker
 from repro.overlay.topology import OverlayTopology
 from repro.p2psim.config import StreamingSimConfig
 from repro.p2psim.recorder import WealthRecorder
-from repro.simulation.engine import SimulationEngine
-from repro.simulation.process import PeriodicProcess
-from repro.streaming.chunks import Chunk, ChunkStore
-from repro.streaming.playback import PlaybackBuffer
-from repro.streaming.scheduler import PlaybackDrivenScheduler
-from repro.streaming.source import StreamSource
+from repro.p2psim.slots import apply_income_taxation, apply_round_churn
+from repro.utils.rng import make_rng
 
-__all__ = ["StreamingSimResult", "StreamingPeer", "StreamingMarketSimulator"]
+__all__ = ["StreamingSimResult", "StreamingMarketSimulator"]
+
+#: Tolerance used in budget and tie comparisons, matching the historical
+#: wallet/scheduler epsilon.  Both kernels must use the same constant.
+_EPS = 1e-12
+
+
+@dataclass
+class _StreamPack:
+    """Alive peers' neighbour rows, both padded and flattened.
+
+    Row ``r`` describes the peer in slot ``alive_slots[r]``: its first
+    ``degrees[r]`` columns of ``nbr`` hold neighbour slot indices in
+    ascending slot order (padding holds slot 0, ignored via ``degrees``).
+    ``edge_dst`` is the same adjacency flattened row-major —
+    ``edge_dst[row_start[r]:row_start[r+1]]`` are row ``r``'s neighbour
+    slots — which is what the vectorized kernel's segmented reductions
+    consume; a scale-free hub then costs its own degree instead of padding
+    every peer to the hub's degree.
+
+    The pack is a pure cache derived from the per-peer neighbour rows; any
+    membership change drops it and the next tick rebuilds it.
+    """
+
+    alive_slots: np.ndarray
+    degrees: np.ndarray
+    nbr: np.ndarray
+    edge_dst: np.ndarray
+    row_start: np.ndarray
+    row_of: Dict[int, int]
 
 
 @dataclass
@@ -54,17 +116,21 @@ class StreamingSimResult:
     recorder:
         Wealth time series (Gini, bankruptcy fraction, snapshots).
     final_wealths:
-        Final wallet balances, in peer-id order.
+        Final wallet balances of the peers alive at the end, in peer-id
+        order.
     spending_rates:
-        Credit spending rate of every peer measured over the second half of
-        the run (credits per second) — the quantity plotted in Fig. 1.
+        Credit spending rate of every surviving peer measured over the
+        second half of the run (credits per second) — the quantity plotted
+        in Fig. 1.
     earning_rates:
         Credit earning rate over the same window.
     continuity:
         Playback continuity (fraction of due chunks held at their deadline)
-        per peer.
+        per surviving peer.
     chunks_delivered:
         Total chunks purchased and delivered across the swarm.
+    joins, leaves:
+        Churn event counts (zero for static overlays).
     """
 
     config: StreamingSimConfig
@@ -74,12 +140,19 @@ class StreamingSimResult:
     earning_rates: np.ndarray
     continuity: np.ndarray
     chunks_delivered: int
+    joins: int = 0
+    leaves: int = 0
     extras: Dict[str, object] = field(default_factory=dict)
 
     @property
     def final_gini(self) -> float:
         """Gini index of wealth at the end of the run."""
         return self.recorder.final_gini()
+
+    @property
+    def stabilized_gini(self) -> float:
+        """Mean Gini over the last quarter of samples."""
+        return self.recorder.stabilized_gini()
 
     @property
     def spending_rate_gini(self) -> float:
@@ -89,92 +162,22 @@ class StreamingSimResult:
         return gini_index(self.spending_rates)
 
 
-class StreamingPeer(PeriodicProcess):
-    """One streaming peer: buffer map + wallet + chunk scheduling + playback."""
-
-    def __init__(
-        self,
-        peer_id: int,
-        simulator: "StreamingMarketSimulator",
-        scheduling_interval: float,
-        jitter: float,
-    ) -> None:
-        super().__init__(interval=scheduling_interval, name=f"peer:{peer_id}")
-        self.peer_id = int(peer_id)
-        self._sim = simulator
-        self.store = ChunkStore(window_size=4 * simulator.config.playback_window)
-        self.playback = PlaybackBuffer(
-            playback_rate=simulator.config.chunk_rate,
-            startup_chunks=simulator.config.startup_chunks,
-        )
-        self.scheduler = PlaybackDrivenScheduler(
-            max_requests_per_round=simulator.config.max_requests_per_round,
-            rng=simulator.rng_for(f"scheduler:{peer_id}"),
-            supplier_choice=simulator.config.supplier_choice,
-        )
-        self._initial_offset = jitter
-        self.window_spent = 0.0
-        self.window_earned = 0.0
-
-    def on_start(self) -> None:
-        self.playback.note_join(self.now)
-        # Spread the first scheduling round over one interval to avoid
-        # lock-step behaviour across the whole swarm.
-        self.call_in(self._initial_offset, self._first_tick, label=f"{self.name}.bootstrap")
-
-    def _first_tick(self) -> None:
-        self._fire()
-
-    def _fire(self) -> None:  # override PeriodicProcess wiring for the jittered start
-        self.ticks += 1
-        self.tick()
-        if self.is_running:
-            self.call_in(self.interval, self._fire, label=f"{self.name}.tick")
-
-    # ------------------------------------------------------------------ protocol round
-
-    def tick(self) -> None:
-        sim = self._sim
-        live_edge = sim.source.latest_index
-        if live_edge < 0:
-            return
-        playback_point = self.playback.playback_point
-        window_stop = min(live_edge + 1, playback_point + sim.config.playback_window)
-        want_range = range(playback_point, window_stop)
-
-        neighbor_maps = sim.neighbor_buffer_maps(self.peer_id)
-        balance = sim.ledger.wallet(self.peer_id).balance
-        requests = self.scheduler.schedule(
-            own_map=self.store.buffer_map,
-            neighbor_maps=neighbor_maps,
-            want_range=want_range,
-            price_lookup=sim.price_lookup,
-            budget=balance,
-            load_lookup=sim.upload_load,
-        )
-        for request in requests:
-            sim.execute_purchase(
-                buyer_id=self.peer_id,
-                seller_id=request.supplier_id,
-                chunk_index=request.chunk_index,
-                suppliers=[
-                    neighbor
-                    for neighbor, buffer_map in neighbor_maps.items()
-                    if request.chunk_index in buffer_map
-                ],
-            )
-        self.playback.advance(self.store.buffer_map, self.now)
-
-    # ------------------------------------------------------------------ chunk delivery
-
-    def deliver_chunk(self, chunk: Chunk) -> None:
-        """Receive a chunk (purchased or seeded by the source)."""
-        self.store.insert(chunk)
-        self.playback.maybe_start(self.store.buffer_map, self.now)
-
-
 class StreamingMarketSimulator:
-    """Builds and runs a credit-incentivized streaming swarm simulation."""
+    """Builds and runs a credit-incentivized streaming swarm simulation.
+
+    Parameters
+    ----------
+    config:
+        Simulation parameters (see :class:`~repro.p2psim.config.StreamingSimConfig`).
+    topology:
+        Optional pre-built overlay; a scale-free overlay with the configured
+        shape/mean degree is generated when omitted.
+    snapshot_times:
+        Simulation times at which sorted wealth snapshots are kept.
+    seed_fanout:
+        Override of ``config.seed_fanout`` (number of random peers that
+        receive each freshly emitted chunk for free).
+    """
 
     def __init__(
         self,
@@ -184,7 +187,7 @@ class StreamingMarketSimulator:
         seed_fanout: Optional[int] = None,
     ) -> None:
         self.config = config
-        self.engine = SimulationEngine(seed=config.seed)
+        self._rng = make_rng(config.seed, "streaming-sim")
         self.topology = (
             topology
             if topology is not None
@@ -195,189 +198,749 @@ class StreamingMarketSimulator:
                 seed=config.seed,
             )
         )
+        if self.topology.num_peers < 2:
+            raise ValueError("the overlay must contain at least 2 peers")
         self.recorder = WealthRecorder(snapshot_times=snapshot_times)
-        self.ledger = CreditLedger(record_transactions=False)
-        self.seed_fanout = max(1, int(seed_fanout if seed_fanout is not None else config.seed_fanout))
+        self._tracker = MembershipTracker(
+            self.topology,
+            target_degree=max(1, int(round(config.topology_mean_degree))),
+            seed=config.seed + 1,
+        )
+        self.seed_fanout = max(
+            1, int(seed_fanout if seed_fanout is not None else config.seed_fanout)
+        )
+
+        # --- sliding availability window over the live stream ----------------------
+        window = config.playback_window
+        self._win_width = max(4 * window, window + 2, config.startup_chunks + 2)
+        self._win_base = 0
+        self._emitted = 0
+
+        # --- slot-based peer state -------------------------------------------------
+        capacity = max(16, 2 * self.topology.num_peers)
+        self._capacity = capacity
+        self._alive = np.zeros(capacity, dtype=bool)
+        self._balance = np.zeros(capacity)
+        self._spent_win = np.zeros(capacity)
+        self._earned_win = np.zeros(capacity)
+        self._uploads_total = np.zeros(capacity)
+        self._played = np.zeros(capacity, dtype=np.int64)
+        self._missed = np.zeros(capacity, dtype=np.int64)
+        self._pb_next = np.zeros(capacity, dtype=np.int64)
+        self._pb_started = np.zeros(capacity, dtype=bool)
+        self._pb_backlog = np.zeros(capacity)
+        self._have = np.zeros((capacity, self._win_width), dtype=bool)
+        self._price_win = np.zeros((capacity, self._win_width))
+        self._slot_of: Dict[int, int] = {}
+        self._peer_of: Dict[int, int] = {}
+        self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
+        self._neighbors: Dict[int, np.ndarray] = {}
+        self._pack: Optional[_StreamPack] = None
+
+        # Purchased chunks in flight: ``_in_flight[i]`` is applied at the
+        # end of the i-th tick from now; each batch is a list of
+        # ``(buyer_slots, chunk_indices)`` array pairs.  The transfer
+        # latency rounds up to whole ticks (at least one: a chunk bought
+        # this round is available to playback and neighbours from the next
+        # round on).
+        interval = config.scheduling_interval
+        delay_ticks = max(1, int(np.ceil(config.transfer_latency / interval - 1e-9)))
+        self._delay_ticks = delay_ticks
+        self._in_flight: List[List[Tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in range(delay_ticks)
+        ]
+
+        self._tax_pool = 0.0
+        self._minted = 0.0
+        self._destroyed = 0.0
         self.chunks_delivered = 0
+        self.joins = 0
+        self.leaves = 0
+        self._tick = 0
+        self._next_sample = 0.0
         self._measure_start = config.horizon / 2.0
 
-        self.source = StreamSource(chunk_rate=config.chunk_rate)
-        self.source.subscribe(self._seed_chunk)
-
-        self.peers: Dict[int, StreamingPeer] = {}
-        jitter_rng = self.engine.rng("peer-jitter")
         for peer_id in self.topology.peers():
-            self.ledger.open_wallet(peer_id, config.initial_credits)
-            peer = StreamingPeer(
-                peer_id,
-                self,
-                scheduling_interval=config.scheduling_interval,
-                jitter=float(jitter_rng.uniform(0.0, config.scheduling_interval)),
-            )
-            self.peers[peer_id] = peer
+            self._admit(peer_id)
 
-        self._spent_window: Dict[int, float] = {peer: 0.0 for peer in self.peers}
-        self._earned_window: Dict[int, float] = {peer: 0.0 for peer in self.peers}
-        # Per-seller upload accounting: (scheduling-interval epoch, uploads used in it).
-        self._upload_used: Dict[int, List[float]] = {peer: [-1.0, 0.0] for peer in self.peers}
-        # Cumulative uploads per seller, used by the least-loaded supplier policy.
-        self._uploads_total: Dict[int, float] = {peer: 0.0 for peer in self.peers}
+    # ------------------------------------------------------------------ clock helpers
 
-    # ------------------------------------------------------------------ wiring helpers
+    @property
+    def now(self) -> float:
+        """Current simulation time (tick counter × scheduling interval)."""
+        return self._tick * self.config.scheduling_interval
 
-    def rng_for(self, label: str) -> np.random.Generator:
-        """Named RNG stream scoped to this simulation's seed."""
-        return self.engine.rng(label)
+    def _upload_epoch(self) -> int:
+        """The upload-slot accounting epoch: the integer tick counter.
 
-    def neighbor_buffer_maps(self, peer_id: int) -> Dict[int, "ChunkStore"]:
-        """Buffer maps currently advertised by the neighbours of ``peer_id``."""
-        return {
-            neighbor: self.peers[neighbor].store.buffer_map
-            for neighbor in self.topology.neighbors(peer_id)
-            if neighbor in self.peers
-        }
-
-    def price_lookup(self, seller_id: int, chunk_index: int) -> float:
-        """Posted price of ``seller_id`` for ``chunk_index`` (scheduler callback)."""
-        return float(self.config.pricing.price(seller_id, chunk_index))
-
-    def upload_load(self, seller_id: int) -> float:
-        """Cumulative uploads served by ``seller_id`` (scheduler load-balancing callback)."""
-        return self._uploads_total.get(seller_id, 0.0)
-
-    # ------------------------------------------------------------------ chunk / credit flow
-
-    def _seed_chunk(self, chunk: Chunk) -> None:
-        """Push a freshly emitted chunk to a few random peers (source seeding)."""
-        rng = self.engine.rng("seeding")
-        peer_ids = list(self.peers)
-        if not peer_ids:
-            return
-        fanout = min(self.seed_fanout, len(peer_ids))
-        chosen = rng.choice(peer_ids, size=fanout, replace=False)
-        for peer_id in chosen:
-            self.peers[int(peer_id)].deliver_chunk(chunk)
-
-    def _upload_slot_available(self, seller_id: int) -> bool:
-        """Whether ``seller_id`` still has upload capacity in the current epoch."""
-        epoch = np.floor(self.engine.now / self.config.scheduling_interval)
-        record = self._upload_used.setdefault(seller_id, [-1.0, 0.0])
-        if record[0] != epoch:
-            record[0] = epoch
-            record[1] = 0.0
-        return record[1] < self.config.upload_capacity
-
-    def _consume_upload_slot(self, seller_id: int) -> None:
-        self._upload_used[seller_id][1] += 1.0
-        self._uploads_total[seller_id] = self._uploads_total.get(seller_id, 0.0) + 1.0
-
-    def execute_purchase(
-        self,
-        buyer_id: int,
-        seller_id: int,
-        chunk_index: int,
-        suppliers: Optional[List[int]] = None,
-    ) -> bool:
-        """Settle one chunk purchase: transfer credits now, deliver the chunk after latency.
-
-        When the chosen seller has exhausted its upload capacity for the
-        current scheduling interval the purchase falls back to another
-        supplier of the same chunk (if any has capacity left).  Returns
-        False (and does nothing) when no capable supplier remains or the
-        buyer cannot afford the settled price.
+        Deriving the epoch from the float clock (``floor(now / interval)``)
+        mis-buckets ticks once accumulated additions drift — e.g. sixty
+        additions of 0.1 give 5.999999999999998, whose quotient floors to
+        59 instead of 60 — silently granting a seller a double capacity
+        window.  The integer counter cannot drift; the per-tick admission
+        counters (see ``_upload_slot_available``) are scoped to it.
         """
-        buyer = self.peers.get(buyer_id)
-        if buyer is None:
-            return False
-        if not self._upload_slot_available(seller_id) and suppliers:
-            rng = self.engine.rng("upload-fallback")
-            alternatives = [
-                candidate
-                for candidate in suppliers
-                if candidate != seller_id
-                and candidate in self.peers
-                and self._upload_slot_available(candidate)
-                and self.peers[candidate].store.has(chunk_index)
+        return self._tick
+
+    # ------------------------------------------------------------------ peer lifecycle
+
+    def _grow_capacity(self) -> None:
+        new_capacity = self._capacity * 2
+        pad = new_capacity - self._capacity
+
+        def extend(array: np.ndarray) -> np.ndarray:
+            return np.concatenate([array, np.zeros(pad, dtype=array.dtype)])
+
+        self._alive = extend(self._alive)
+        self._balance = extend(self._balance)
+        self._spent_win = extend(self._spent_win)
+        self._earned_win = extend(self._earned_win)
+        self._uploads_total = extend(self._uploads_total)
+        self._played = extend(self._played)
+        self._missed = extend(self._missed)
+        self._pb_next = extend(self._pb_next)
+        self._pb_started = extend(self._pb_started)
+        self._pb_backlog = extend(self._pb_backlog)
+        self._have = np.vstack(
+            [self._have, np.zeros((pad, self._win_width), dtype=bool)]
+        )
+        self._price_win = np.vstack([self._price_win, np.zeros((pad, self._win_width))])
+        self._free_slots = (
+            list(range(new_capacity - 1, self._capacity - 1, -1)) + self._free_slots
+        )
+        self._capacity = new_capacity
+
+    def _admit(self, peer_id: int) -> int:
+        """Create simulator state for ``peer_id`` (already present in the topology)."""
+        if not self._free_slots:
+            self._grow_capacity()
+        slot = self._free_slots.pop()
+        self._alive[slot] = True
+        self._balance[slot] = self.config.initial_credits
+        self._minted += self.config.initial_credits
+        self._spent_win[slot] = 0.0
+        self._earned_win[slot] = 0.0
+        self._uploads_total[slot] = 0.0
+        self._played[slot] = 0
+        self._missed[slot] = 0
+        # A joiner tunes in near the live edge (initial peers start at 0).
+        self._pb_next[slot] = max(0, self._emitted - self.config.startup_chunks)
+        self._pb_started[slot] = False
+        self._pb_backlog[slot] = 0.0
+        self._have[slot, :] = False
+        self._slot_of[peer_id] = slot
+        self._peer_of[slot] = peer_id
+        self._fill_price_row(slot)
+        self._refresh_neighbors(peer_id)
+        for neighbor in self.topology.neighbors(peer_id):
+            if neighbor in self._slot_of:
+                self._refresh_neighbors(neighbor)
+        return slot
+
+    def _evict(self, peer_id: int) -> None:
+        """Remove ``peer_id``'s simulator state (topology surgery happens separately).
+
+        The departing peer takes its credits out of the economy, and any
+        chunk still in flight toward it is dropped — a mid-purchase
+        departure must neither crash the delivery nor hand the chunk to
+        whichever peer later reuses the slot.
+        """
+        slot = self._slot_of.pop(peer_id)
+        self._peer_of.pop(slot)
+        self._alive[slot] = False
+        self._destroyed += float(self._balance[slot])
+        self._balance[slot] = 0.0
+        self._have[slot, :] = False
+        self._neighbors.pop(slot, None)
+        for batch in self._in_flight:
+            for position, (buyer_slots, chunk_indices) in enumerate(batch):
+                keep = buyer_slots != slot
+                if not keep.all():
+                    batch[position] = (buyer_slots[keep], chunk_indices[keep])
+        self._free_slots.append(slot)
+        self._pack = None
+
+    def _refresh_neighbors(self, peer_id: int) -> None:
+        """Recompute one peer's compacted neighbour-slot row."""
+        slot = self._slot_of.get(peer_id)
+        if slot is None:
+            return
+        self._pack = None
+        neighbor_slots = sorted(
+            self._slot_of[neighbor]
+            for neighbor in self.topology.neighbors(peer_id)
+            if neighbor in self._slot_of
+        )
+        self._neighbors[slot] = np.array(neighbor_slots, dtype=np.int64)
+
+    def _stream_pack(self) -> _StreamPack:
+        """Return the padded neighbour matrix of the alive population.
+
+        Rebuilt lazily after any membership change; on static overlays the
+        pack is built once and reused for the whole run.
+        """
+        if self._pack is None:
+            alive_slots = np.flatnonzero(self._alive)
+            count = alive_slots.size
+            rows = [
+                self._neighbors.get(int(slot), np.empty(0, dtype=np.int64))
+                for slot in alive_slots
             ]
-            if not alternatives:
-                return False
-            seller_id = int(alternatives[int(rng.integers(len(alternatives)))])
-        elif not self._upload_slot_available(seller_id):
-            return False
-        seller = self.peers.get(seller_id)
-        if seller is None:
-            return False
-        chunk = seller.store.get(chunk_index)
-        if chunk is None:
-            return False
-        price = self.config.pricing.settle(
-            seller_id, chunk_index, buyer_id=buyer_id, competing_sellers=suppliers
-        )
-        wallet = self.ledger.wallet(buyer_id)
-        if price > 0 and not wallet.can_afford(price):
-            return False
-        if price > 0:
-            self.ledger.transfer(
-                buyer_id, seller_id, price, time=self.engine.now, chunk_index=chunk_index
-            )
-            self.config.tax_policy.on_income(
-                self.ledger, seller_id, price, self.engine.now, list(self.peers)
-            )
-        self.config.pricing.note_purchase(seller_id, chunk_index, buyer_id)
-        self._consume_upload_slot(seller_id)
-        if self.engine.now >= self._measure_start:
-            self._spent_window[buyer_id] = self._spent_window.get(buyer_id, 0.0) + price
-            self._earned_window[seller_id] = self._earned_window.get(seller_id, 0.0) + price
-        self.engine.schedule_in(
-            self.config.transfer_latency,
-            lambda _engine, b=buyer, c=chunk: b.deliver_chunk(c),
-            label=f"deliver:{chunk_index}->{buyer_id}",
-        )
-        self.chunks_delivered += 1
-        return True
+            degrees = np.array([row.size for row in rows], dtype=np.int64)
+            max_degree = max(1, int(degrees.max()) if count else 1)
+            nbr = np.zeros((count, max_degree), dtype=np.int64)
+            for row_index, row in enumerate(rows):
+                if row.size:
+                    nbr[row_index, : row.size] = row
+            edge_dst = (
+                np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+            ).astype(np.int64)
+            row_start = np.zeros(count + 1, dtype=np.int64)
+            np.cumsum(degrees, out=row_start[1:])
+            row_of = {int(slot): row for row, slot in enumerate(alive_slots)}
+            self._pack = _StreamPack(alive_slots, degrees, nbr, edge_dst, row_start, row_of)
+        return self._pack
 
-    # ------------------------------------------------------------------ run
+    # ------------------------------------------------------------------ churn
 
-    def run(self) -> StreamingSimResult:
-        """Run the simulation for the configured horizon and return the result."""
+    def _apply_churn(self, dt: float) -> None:
+        apply_round_churn(
+            self, dt, admit=self._admit, refresh_neighbor=self._refresh_neighbors
+        )
+
+    # ------------------------------------------------------------------ stream window
+
+    def _fill_price_row(self, slot: int) -> None:
+        """Quote one (re)admitted seller's prices for every chunk in the window."""
+        peer_id = self._peer_of[slot]
+        live_cols = self._emitted - self._win_base
+        for col in range(live_cols):
+            self._price_win[slot, col] = self.config.pricing.price(
+                peer_id, self._win_base + col
+            )
+
+    def _fill_price_column(self, col: int, chunk_index: int) -> None:
+        """Quote every alive seller's posted price for one new chunk column."""
+        alive_slots = np.flatnonzero(self._alive)
+        if alive_slots.size == 0:
+            return
+        peer_ids = [self._peer_of[int(slot)] for slot in alive_slots]
+        self._price_win[alive_slots, col] = self.config.pricing.price_array(
+            peer_ids, chunk_index
+        )
+
+    def _refresh_price_window(self) -> None:
+        """Re-quote the whole window (stateful pricing schemes only)."""
+        live_cols = self._emitted - self._win_base
+        for col in range(live_cols):
+            self._fill_price_column(col, self._win_base + col)
+
+    def _slide_window(self, shift: int) -> None:
+        width = self._win_width
+        if shift >= width:
+            self._have[:, :] = False
+            self._price_win[:, :] = 0.0
+        else:
+            self._have[:, : width - shift] = self._have[:, shift:]
+            self._have[:, width - shift :] = False
+            self._price_win[:, : width - shift] = self._price_win[:, shift:]
+            self._price_win[:, width - shift :] = 0.0
+        self._win_base += shift
+
+    def _emit_due_chunks(self) -> None:
+        """Emit (and seed) every chunk due by the current tick time.
+
+        The source pre-fills ``startup_chunks`` of backlog at time zero and
+        then emits at ``chunk_rate``; each fresh chunk is pushed for free to
+        ``seed_fanout`` random alive peers (the origin server's push
+        degree).
+        """
         config = self.config
-        self.source.start(self.engine)
-        for peer in self.peers.values():
-            peer.start(self.engine)
-        # Pre-fill the swarm with a little history so playback can begin.
-        self.source.emit_backlog(config.startup_chunks)
+        target = config.startup_chunks + int(
+            np.floor(self.now * config.chunk_rate + 1e-9)
+        )
+        rng = self._rng
+        while self._emitted < target:
+            index = self._emitted
+            col = index - self._win_base
+            if col >= self._win_width:
+                self._slide_window(col - self._win_width + 1)
+                col = index - self._win_base
+            self._fill_price_column(col, index)
+            alive_slots = np.flatnonzero(self._alive)
+            if alive_slots.size:
+                fanout = min(self.seed_fanout, alive_slots.size)
+                chosen = rng.choice(alive_slots, size=fanout, replace=False)
+                self._have[chosen, col] = True
+            self._emitted += 1
 
-        sample_times = np.arange(0.0, config.horizon + 1e-9, config.sample_interval)
-        for sample_time in sample_times:
-            self.engine.run(until=float(sample_time))
-            self._record_sample()
-        self.engine.run(until=config.horizon)
+    # ------------------------------------------------------------------ scheduling kernels
+
+    def _schedule_vectorized(
+        self,
+        pack: _StreamPack,
+        balances: np.ndarray,
+        uniforms: np.ndarray,
+        base: int,
+        live_edge: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched scheduling round: every alive peer's requests at once.
+
+        Implements exactly the per-peer semantics of ``_schedule_loop`` —
+        same candidate order, same supplier tie-breaks (cell ``(r, w)``
+        spends uniform ``uniforms[r, w]``), same greedy budget rule, same
+        global admission order — as pure array operations.
+        """
+        config = self.config
+        window = config.playback_window
+        count = pack.alive_slots.size
+        if count == 0 or live_edge < 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty, np.empty(0)
+
+        slots = pack.alive_slots
+        abs_idx = self._pb_next[slots][:, None] + np.arange(window)[None, :]
+        valid = (abs_idx >= base) & (abs_idx <= live_edge)
+        cols = np.clip(abs_idx - base, 0, self._win_width - 1)
+        own = self._have[slots[:, None], cols]
+        candidate = valid & ~own & (pack.degrees > 0)[:, None]
+
+        # Supplier choice for every candidate (peer, window-position) cell,
+        # via a segmented expansion over each candidate peer's edge list.
+        # Cost scales with the degree mass of the *candidate* cells — a
+        # scale-free hub only pays its own degree where it is actually
+        # missing a chunk, never as padding on every other peer.
+        price = np.full((count, window), np.inf)
+        supplier = np.zeros((count, window), dtype=np.int64)
+        cand_rows, cand_ws = np.nonzero(candidate)
+        cells = cand_rows.size
+        if cells:
+            cand_cols = cols[cand_rows, cand_ws]
+            seg_len = pack.degrees[cand_rows]
+            starts = np.zeros(cells + 1, dtype=np.int64)
+            np.cumsum(seg_len, out=starts[1:])
+            total = int(starts[-1])
+            cell_of = np.repeat(np.arange(cells), seg_len)
+            edge_pos = (
+                np.repeat(pack.row_start[cand_rows], seg_len)
+                + np.arange(total)
+                - np.repeat(starts[:-1], seg_len)
+            )
+            dst = pack.edge_dst[edge_pos]
+            cell_col = cand_cols[cell_of]
+            eligible = self._have[dst, cell_col]
+
+            choice = config.supplier_choice
+            if choice == "least-loaded":
+                score = np.where(eligible, self._uploads_total[dst], np.inf)
+                best = np.minimum.reduceat(score, starts[:-1])
+                tie = eligible & (score <= np.repeat(best, seg_len) + _EPS)
+            elif choice == "cheapest":
+                score = np.where(eligible, self._price_win[dst, cell_col], np.inf)
+                best = np.minimum.reduceat(score, starts[:-1])
+                tie = eligible & (score <= np.repeat(best, seg_len) + _EPS)
+            else:  # availability
+                tie = eligible
+            tie_int = tie.astype(np.int64)
+            tie_count = np.add.reduceat(tie_int, starts[:-1])
+            pick = np.floor(uniforms[cand_rows, cand_ws] * tie_count).astype(np.int64)
+            pick = np.minimum(pick, tie_count - 1)  # u*cnt can round up to cnt
+            # Inclusive tie rank within each cell's segment: the chosen
+            # supplier is the (pick+1)-th tie in neighbour order — exactly
+            # the loop kernel's ``ties[pick]``.
+            cum = np.cumsum(tie_int)
+            rank = cum - np.repeat(cum[starts[:-1]] - tie_int[starts[:-1]], seg_len)
+            match = tie & (rank == np.repeat(pick + 1, seg_len))
+            chosen = np.zeros(cells, dtype=np.int64)
+            resolved = np.zeros(cells, dtype=bool)
+            chosen[cell_of[match]] = dst[match]
+            resolved[cell_of[match]] = True
+            rows_ok = cand_rows[resolved]
+            ws_ok = cand_ws[resolved]
+            supplier[rows_ok, ws_ok] = chosen[resolved]
+            price[rows_ok, ws_ok] = self._price_win[chosen[resolved], cand_cols[resolved]]
+
+        # Greedy selection with budget skip, one vectorized pass per request
+        # slot: each pass takes every peer's first still-affordable
+        # candidate.  Budgets only decrease, so the passes reproduce the
+        # sequential "scan once, skip unaffordable" rule exactly.
+        budget = balances.copy()
+        max_requests = config.max_requests_per_round
+        sel_w = np.full((count, max_requests), -1, dtype=np.int64)
+        open_price = price.copy()
+        for request in range(max_requests):
+            affordable = open_price <= budget[:, None] + _EPS
+            any_affordable = affordable.any(axis=1)
+            if not any_affordable.any():
+                break
+            first = np.argmax(affordable, axis=1)
+            takers = np.flatnonzero(any_affordable)
+            picked = first[takers]
+            sel_w[takers, request] = picked
+            budget[takers] -= open_price[takers, picked]
+            open_price[takers, picked] = np.inf
+
+        selected = sel_w >= 0
+        if not selected.any():
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty, np.empty(0)
+        flat = np.flatnonzero(selected.ravel())  # row-major = global order
+        rows = flat // max_requests
+        w = sel_w.ravel()[flat]
+        buyers = slots[rows]
+        sellers = supplier[rows, w]
+        chunk_abs = abs_idx[rows, w]
+        paid = price[rows, w]
+
+        # Upload-slot admission in global order: within each seller, the
+        # first ``upload_capacity`` requests win.
+        order = np.argsort(sellers, kind="stable")
+        sorted_sellers = sellers[order]
+        size = sellers.size
+        new_group = np.ones(size, dtype=bool)
+        new_group[1:] = sorted_sellers[1:] != sorted_sellers[:-1]
+        group_first = np.maximum.accumulate(np.where(new_group, np.arange(size), 0))
+        admitted_sorted = (np.arange(size) - group_first) < config.upload_capacity
+        admitted = np.empty(size, dtype=bool)
+        admitted[order] = admitted_sorted
+        return buyers[admitted], sellers[admitted], chunk_abs[admitted], paid[admitted]
+
+    def _schedule_loop(
+        self,
+        pack: _StreamPack,
+        balances: np.ndarray,
+        uniforms: np.ndarray,
+        base: int,
+        live_edge: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-peer scheduling loop (the benchmark baseline).
+
+        Walks every alive peer's want window one position at a time —
+        exactly what the retired event-driven scheduler did per peer per
+        round — consuming the same tie-break uniforms as the vectorized
+        kernel, so both produce bit-identical purchases.
+        """
+        config = self.config
+        window = config.playback_window
+        capacity = config.upload_capacity
+        choice = config.supplier_choice
+        max_requests = config.max_requests_per_round
+        have = self._have
+        price_win = self._price_win
+        uploads_total = self._uploads_total
+        buyers: List[int] = []
+        sellers: List[int] = []
+        chunks: List[int] = []
+        paid: List[float] = []
+        used: Dict[int, int] = {}
+        if live_edge < 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty, np.empty(0)
+        for row in range(pack.alive_slots.size):
+            slot = int(pack.alive_slots[row])
+            degree = int(pack.degrees[row])
+            if degree == 0:
+                continue
+            neighbors = pack.nbr[row, :degree]
+            playback_point = int(self._pb_next[slot])
+            budget = float(balances[row])
+            requests = 0
+            for w in range(window):
+                if requests >= max_requests:
+                    break
+                index = playback_point + w
+                if index < base or index > live_edge:
+                    continue
+                col = index - base
+                if have[slot, col]:
+                    continue
+                eligible = [int(s) for s in neighbors if have[s, col]]
+                if not eligible:
+                    continue
+                if choice == "least-loaded":
+                    loads = [float(uploads_total[s]) for s in eligible]
+                    best = min(loads)
+                    ties = [s for s, load in zip(eligible, loads) if load <= best + _EPS]
+                elif choice == "cheapest":
+                    quotes = [float(price_win[s, col]) for s in eligible]
+                    best = min(quotes)
+                    ties = [s for s, quote in zip(eligible, quotes) if quote <= best + _EPS]
+                else:
+                    ties = eligible
+                pick = min(int(float(uniforms[row, w]) * len(ties)), len(ties) - 1)
+                seller = ties[pick]
+                price = float(price_win[seller, col])
+                if price > budget + _EPS:
+                    continue
+                budget -= price
+                requests += 1
+                # Upload-slot admission (global order = this scan order).
+                if not self._upload_slot_available(seller, used):
+                    continue
+                used[seller] = used.get(seller, 0) + 1
+                buyers.append(slot)
+                sellers.append(seller)
+                chunks.append(index)
+                paid.append(price)
+        return (
+            np.array(buyers, dtype=np.int64),
+            np.array(sellers, dtype=np.int64),
+            np.array(chunks, dtype=np.int64),
+            np.array(paid),
+        )
+
+    def _upload_slot_available(self, seller_slot: int, used: Dict[int, int]) -> bool:
+        """Whether ``seller_slot`` still has upload capacity this tick.
+
+        ``used`` is the tick-local admission counter; the epoch is the
+        integer tick counter (see ``_upload_epoch``), so the windowed
+        accounting cannot drift with the float clock.
+        """
+        return used.get(seller_slot, 0) < self.config.upload_capacity
+
+    # ------------------------------------------------------------------ settlement
+
+    def _settle(
+        self,
+        pack: _StreamPack,
+        buyers: np.ndarray,
+        sellers: np.ndarray,
+        chunk_abs: np.ndarray,
+        prices: np.ndarray,
+    ) -> None:
+        """Apply one tick's admitted purchases: credits now, chunks after latency.
+
+        Shared verbatim by both kernels.  Posted-price schemes settle as
+        batched array updates; stateful schemes (auctions, linear pricing)
+        settle purchase-by-purchase in the global admission order through
+        the scalar ``settle``/``note_purchase`` hooks.
+        """
+        config = self.config
+        income = np.zeros(self._capacity)
+        deliveries = self._in_flight[self._delay_ticks - 1]
+        measuring = self.now >= self._measure_start
+        if buyers.size:
+            if config.pricing.is_stateful():
+                base = self._win_base
+                delivered_slots: List[int] = []
+                delivered_chunks: List[int] = []
+                for buyer, seller, index, _quote in zip(
+                    buyers, sellers, chunk_abs, prices
+                ):
+                    buyer_slot, seller_slot = int(buyer), int(seller)
+                    buyer_id = self._peer_of[buyer_slot]
+                    seller_id = self._peer_of[seller_slot]
+                    row = pack.row_of[buyer_slot]
+                    degree = int(pack.degrees[row])
+                    col = int(index) - base
+                    competing = [
+                        self._peer_of[int(s)]
+                        for s in pack.nbr[row, :degree]
+                        if self._have[int(s), col]
+                    ]
+                    price = float(
+                        config.pricing.settle(
+                            seller_id, int(index), buyer_id=buyer_id,
+                            competing_sellers=competing,
+                        )
+                    )
+                    if price > self._balance[buyer_slot] + _EPS:
+                        continue
+                    self._balance[buyer_slot] -= price
+                    self._balance[seller_slot] += price
+                    income[seller_slot] += price
+                    if measuring:
+                        self._spent_win[buyer_slot] += price
+                        self._earned_win[seller_slot] += price
+                    config.pricing.note_purchase(seller_id, int(index), buyer_id)
+                    self._uploads_total[seller_slot] += 1.0
+                    self.chunks_delivered += 1
+                    delivered_slots.append(buyer_slot)
+                    delivered_chunks.append(int(index))
+                if delivered_slots:
+                    deliveries.append(
+                        (
+                            np.array(delivered_slots, dtype=np.int64),
+                            np.array(delivered_chunks, dtype=np.int64),
+                        )
+                    )
+            else:
+                spent = np.bincount(buyers, weights=prices, minlength=self._capacity)
+                income = np.bincount(sellers, weights=prices, minlength=self._capacity)
+                self._balance -= spent
+                self._balance += income
+                self._uploads_total += np.bincount(
+                    sellers, minlength=self._capacity
+                ).astype(float)
+                if measuring:
+                    self._spent_win += spent
+                    self._earned_win += income
+                self.chunks_delivered += int(buyers.size)
+                deliveries.append((buyers, chunk_abs))
+        self._apply_taxation(income)
+
+    def _apply_taxation(self, income: np.ndarray) -> None:
+        apply_income_taxation(self, income, self.now)
+
+    # ------------------------------------------------------------------ playback
+
+    def _advance_playback(self, pack: _StreamPack, dt: float) -> None:
+        """Advance every started peer's playback clock by one tick.
+
+        Due chunks not held at their deadline are skipped and counted as
+        misses (live-streaming semantics).  Peers that have buffered
+        ``startup_chunks`` contiguous chunks from their playback point
+        start playing.
+        """
+        slots = pack.alive_slots
+        if slots.size == 0:
+            return
+        base = self._win_base
+        live_edge = self._emitted - 1
+        need = self.config.startup_chunks
+        not_started = slots[~self._pb_started[slots]]
+        if not_started.size:
+            if need == 0:
+                self._pb_started[not_started] = True
+            else:
+                idx = self._pb_next[not_started][:, None] + np.arange(need)[None, :]
+                in_window = (idx >= base) & (idx <= live_edge)
+                cols = np.clip(idx - base, 0, self._win_width - 1)
+                held = self._have[not_started[:, None], cols] & in_window
+                self._pb_started[not_started[held.all(axis=1)]] = True
+        playing = slots[self._pb_started[slots]]
+        if playing.size == 0:
+            return
+        self._pb_backlog[playing] += dt * self.config.chunk_rate
+        due = np.floor(self._pb_backlog[playing]).astype(np.int64)
+        max_due = int(due.max()) if due.size else 0
+        if max_due <= 0:
+            return
+        idx = self._pb_next[playing][:, None] + np.arange(max_due)[None, :]
+        active = np.arange(max_due)[None, :] < due[:, None]
+        in_window = (idx >= base) & (idx <= live_edge)
+        cols = np.clip(idx - base, 0, self._win_width - 1)
+        held = self._have[playing[:, None], cols] & in_window & active
+        hits = held.sum(axis=1)
+        self._played[playing] += hits
+        self._missed[playing] += due - hits
+        self._pb_next[playing] += due
+        self._pb_backlog[playing] -= due
+
+    def _apply_deliveries(self) -> None:
+        """Materialise the chunk batch whose transfer latency has elapsed.
+
+        Chunks whose window position has already been evicted (a transfer
+        that out-lived the live window) are dropped, as are chunks bound
+        for a peer that departed mid-transfer.
+        """
+        batch = self._in_flight.pop(0)
+        self._in_flight.append([])
+        base = self._win_base
+        width = self._win_width
+        for buyer_slots, chunk_indices in batch:
+            cols = chunk_indices - base
+            landed = (cols >= 0) & (cols < width) & self._alive[buyer_slots]
+            self._have[buyer_slots[landed], cols[landed]] = True
+
+    # ------------------------------------------------------------------ main loop
+
+    def total_rounds(self) -> int:
+        """Number of scheduling ticks the configured horizon spans."""
+        return int(np.ceil(self.config.horizon / self.config.scheduling_interval))
+
+    def advance_rounds(self, rounds: int) -> None:
+        """Advance the simulation by ``rounds`` ticks (without finalising).
+
+        ``run()`` is ``advance_rounds(total_rounds())`` + ``finalize()``;
+        intra-run partitioning (:mod:`repro.runner.partition`) advances the
+        same ticks in checkpointed blocks, which yields an identical state
+        because each tick's draws depend only on the state before it.
+        """
+        config = self.config
+        dt = config.scheduling_interval
+        stateful_pricing = config.pricing.is_stateful()
+        for _ in range(rounds):
+            if self.now + 1e-9 >= self._next_sample:
+                self._record_sample()
+                self._next_sample += config.sample_interval
+            self._apply_churn(dt)
+            self._emit_due_chunks()
+            if stateful_pricing:
+                config.pricing.reset_round()
+                self._refresh_price_window()
+            pack = self._stream_pack()
+            balances = self._balance[pack.alive_slots]
+            uniforms = self._rng.random((pack.alive_slots.size, config.playback_window))
+            if config.kernel == "loop":
+                buyers, sellers, chunk_abs, prices = self._schedule_loop(
+                    pack, balances, uniforms, self._win_base, self._emitted - 1
+                )
+            else:
+                buyers, sellers, chunk_abs, prices = self._schedule_vectorized(
+                    pack, balances, uniforms, self._win_base, self._emitted - 1
+                )
+            self._settle(pack, buyers, sellers, chunk_abs, prices)
+            self._advance_playback(pack, dt)
+            self._apply_deliveries()
+            self._tick += 1
+
+    def finalize(self) -> StreamingSimResult:
+        """Record the final sample and assemble the run's result."""
         self._record_sample()
         return self._build_result()
 
+    def run(self) -> StreamingSimResult:
+        """Run the simulation for the configured horizon and return the result."""
+        self.advance_rounds(self.total_rounds())
+        return self.finalize()
+
+    # ------------------------------------------------------------------ bookkeeping
+
+    def verify_conservation(self, tolerance: float = 1e-6) -> None:
+        """Raise ``AssertionError`` if the credit-conservation invariant is violated."""
+        alive_slots = np.flatnonzero(self._alive)
+        in_circulation = float(self._balance[alive_slots].sum()) + self._tax_pool
+        error = abs(self._minted - self._destroyed - in_circulation)
+        if error > tolerance:
+            raise AssertionError(
+                f"credit conservation violated: minted={self._minted:.6g}, "
+                f"destroyed={self._destroyed:.6g}, "
+                f"in_circulation={in_circulation:.6g} (error {error:.3g})"
+            )
+
+    def _peer_order(self) -> List[int]:
+        """Alive peer ids in ascending order (the reporting order)."""
+        return sorted(self._slot_of)
+
     def _record_sample(self) -> None:
-        order = sorted(self.peers)
-        balances = [self.ledger.wallet(peer).balance for peer in order]
-        self.recorder.record(self.engine.now, balances)
+        order = self._peer_order()
+        balances = [float(self._balance[self._slot_of[peer]]) for peer in order]
+        self.recorder.record(self.now, balances)
 
     def _build_result(self) -> StreamingSimResult:
-        order = sorted(self.peers)
+        order = self._peer_order()
+        slots = np.array([self._slot_of[peer] for peer in order], dtype=np.int64)
         window = max(self.config.horizon - self._measure_start, 1e-9)
-        final_wealths = np.array([self.ledger.wallet(peer).balance for peer in order])
-        spending = np.array([self._spent_window.get(peer, 0.0) / window for peer in order])
-        earning = np.array([self._earned_window.get(peer, 0.0) / window for peer in order])
-        continuity = np.array([self.peers[peer].playback.stats.continuity for peer in order])
+        played = self._played[slots].astype(float)
+        missed = self._missed[slots].astype(float)
+        due = played + missed
+        continuity = np.where(due > 0, played / np.maximum(due, 1.0), 1.0)
         return StreamingSimResult(
             config=self.config,
             recorder=self.recorder,
-            final_wealths=final_wealths,
-            spending_rates=spending,
-            earning_rates=earning,
+            final_wealths=self._balance[slots].copy(),
+            spending_rates=self._spent_win[slots] / window,
+            earning_rates=self._earned_win[slots] / window,
             continuity=continuity,
             chunks_delivered=self.chunks_delivered,
+            joins=self.joins,
+            leaves=self.leaves,
             extras={
                 "peer_order": order,
-                "source_chunks": self.source.chunks_emitted,
+                "source_chunks": self._emitted,
+                "final_population": len(order),
+                "tax_pool": self._tax_pool,
             },
         )
 
@@ -390,5 +953,19 @@ class StreamingMarketSimulator:
         topology: Optional[OverlayTopology] = None,
         snapshot_times: Optional[Sequence[float]] = None,
     ) -> StreamingSimResult:
-        """Build a simulator for ``config`` and run it to completion."""
+        """Build a simulator for ``config`` and run it to completion.
+
+        When an intra-run partition context is active (see
+        :mod:`repro.runner.partition`), the run executes as checkpointed
+        round-blocks through that context instead — producing bit-identical
+        results, since block boundaries only pickle/unpickle the state the
+        monolithic loop would carry anyway.
+        """
+        from repro.runner.partition import active_context
+
+        context = active_context()
+        if context is not None:
+            return context.run_simulation(
+                cls, config, topology=topology, snapshot_times=snapshot_times
+            )
         return cls(config, topology=topology, snapshot_times=snapshot_times).run()

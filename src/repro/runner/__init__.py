@@ -58,6 +58,7 @@ from repro.runner.partition import (
     OutOfBlockBudget,
     round_blocks,
     run_market_partitioned,
+    run_streaming_partitioned,
 )
 
 __all__ = [
@@ -81,6 +82,7 @@ __all__ = [
     "result_to_payload",
     "round_blocks",
     "run_market_partitioned",
+    "run_streaming_partitioned",
     "run_sweep",
     "scenario",
     "task_key",

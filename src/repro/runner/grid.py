@@ -356,6 +356,46 @@ def _fig11_churn_grid() -> SweepSpec:
     )
 
 
+# -- streaming-kernel smoke bundles ---------------------------------------------
+#
+# Tiny streaming-simulator grids crossing the two scheduling kernels; CI's
+# determinism job sweeps them to pin the cross-kernel / cross-partition
+# byte-identity and cache-key contracts of the streaming path.
+
+
+def _fig5_6_streaming_smoke() -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig5_6",
+        grid=ParamGrid(
+            {
+                "simulator": ["streaming"],
+                "kernel": ["loop", "vectorized"],
+                "num_peers": [36],
+                "horizon": [150.0],
+            }
+        ),
+        scale=Scale.SMOKE.value,
+        name="fig5_6-streaming-smoke",
+    )
+
+
+def _fig11_streaming_smoke() -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig11",
+        grid=ParamGrid(
+            {
+                "simulator": ["streaming"],
+                "kernel": ["loop", "vectorized"],
+                "mean_lifespan": [80.0],
+                "num_peers": [36],
+                "horizon": [150.0],
+            }
+        ),
+        scale=Scale.SMOKE.value,
+        name="fig11-streaming-smoke",
+    )
+
+
 # -- paper-scale bundles --------------------------------------------------------
 #
 # One named bundle per figure at the paper's Sec. III/VI populations and
@@ -485,6 +525,8 @@ SCENARIOS: Dict[str, Callable[[], SweepSpec]] = {
     "fig3-wealth-grid": _fig3_wealth_grid,
     "fig9-taxation-grid": _fig9_taxation_grid,
     "fig11-churn-grid": _fig11_churn_grid,
+    "fig5_6-streaming-smoke": _fig5_6_streaming_smoke,
+    "fig11-streaming-smoke": _fig11_streaming_smoke,
     "fig1-paper": _fig1_paper,
     "fig2-paper": _fig2_paper,
     "fig3-paper": _fig3_paper,

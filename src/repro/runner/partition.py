@@ -1,11 +1,11 @@
-"""Intra-run parallelism: checkpointed round-blocks for market simulations.
+"""Intra-run parallelism: checkpointed round-blocks for long simulations.
 
 ``repro.runner`` shards sweeps at ``(config × replication)`` granularity,
 which leaves a paper-scale *single* configuration running on one core for
 its whole horizon.  This module splits one such run into contiguous
 **round-blocks**: the simulator advances a block of rounds, pickles its
-complete state (arrays, RNG, recorder, membership — everything the
-monolithic loop would carry into the next round) into a
+complete state (arrays, RNG, recorder, membership, churn-event counters —
+everything the monolithic loop would carry into the next round) into a
 :class:`CheckpointStore`, and the next block resumes from that state —
 possibly in a different worker process, possibly in a later process after
 an interruption.
@@ -30,10 +30,12 @@ replication by itself.  Its wins are:
   run resumes from its last completed *block* instead of restarting the
   whole horizon.
 
-The context only intercepts :class:`~repro.p2psim.market_sim.\
-CreditMarketSimulator` runs (the paper's long-horizon hot path); other
-simulations inside an experiment execute monolithically within their
-invocation.
+The context intercepts both :class:`~repro.p2psim.market_sim.\
+CreditMarketSimulator` and :class:`~repro.p2psim.streaming_sim.\
+StreamingMarketSimulator` runs — any simulator exposing the
+``total_rounds()`` / ``advance_rounds(n)`` / ``finalize()`` round-block
+protocol partitions the same way; other computations inside an experiment
+execute monolithically within their invocation.
 
 Checkpoint artifacts are raw pickles keyed — like the result artifacts —
 by a content hash that includes the repo's code fingerprint, so stale
@@ -60,6 +62,7 @@ __all__ = [
     "active_context",
     "round_blocks",
     "run_market_partitioned",
+    "run_streaming_partitioned",
 ]
 
 _ACTIVE: Optional["BlockContext"] = None
@@ -262,10 +265,10 @@ class BlockContext:
         block of work; :func:`run_market_partitioned` uses an unlimited
         budget to run a whole simulation in-process.
 
-    Installed via ``with context:`` —
-    :meth:`CreditMarketSimulator.run_config` consults
-    :func:`active_context` and routes through :meth:`run_market` while one
-    is installed.  Contexts do not nest.
+    Installed via ``with context:`` — both simulators'
+    ``run_config`` classmethods consult :func:`active_context` and route
+    through :meth:`run_simulation` while one is installed.  Contexts do
+    not nest.
     """
 
     def __init__(
@@ -298,14 +301,14 @@ class BlockContext:
                 )
             self.budget -= 1
 
-    def run_market(
+    def run_simulation(
         self,
         sim_cls: type,
         config: object,
         topology: object = None,
         snapshot_times: Optional[Sequence[float]] = None,
     ) -> object:
-        """Run one market simulation as checkpointed round-blocks.
+        """Run one round-block-capable simulation as checkpointed blocks.
 
         Restores the newest checkpoint of this simulation (identified by
         its ordinal position within the experiment), advances as many new
@@ -358,6 +361,9 @@ class BlockContext:
         self._sync_config_state(config, simulator.config)
         return result
 
+    #: Backwards-compatible alias from when only market runs partitioned.
+    run_market = run_simulation
+
     def _load(self, ordinal: int, block: int) -> Optional[object]:
         return self.store.load(self.scope, ordinal, block, self.blocks)
 
@@ -394,6 +400,26 @@ class BlockContext:
                 caller.__dict__.update(copy.deepcopy(restored.__dict__))
 
 
+def _run_partitioned(
+    run_config: "callable",
+    config: object,
+    blocks: int,
+    store: Optional[CheckpointStore],
+    topology: object,
+    snapshot_times: Optional[Sequence[float]],
+    scope: str,
+) -> object:
+    def execute(checkpoints: CheckpointStore) -> object:
+        context = BlockContext(checkpoints, blocks=blocks, scope=scope, budget=None)
+        with context:
+            return run_config(config, topology=topology, snapshot_times=snapshot_times)
+
+    if store is not None:
+        return execute(store)
+    with tempfile.TemporaryDirectory(prefix="repro-intra-") as tmp:
+        return execute(CheckpointStore(tmp))
+
+
 def run_market_partitioned(
     config: object,
     blocks: int,
@@ -412,14 +438,31 @@ def run_market_partitioned(
     """
     from repro.p2psim.market_sim import CreditMarketSimulator
 
-    def execute(checkpoints: CheckpointStore) -> object:
-        context = BlockContext(checkpoints, blocks=blocks, scope=scope, budget=None)
-        with context:
-            return CreditMarketSimulator.run_config(
-                config, topology=topology, snapshot_times=snapshot_times
-            )
+    return _run_partitioned(
+        CreditMarketSimulator.run_config, config, blocks, store, topology,
+        snapshot_times, scope,
+    )
 
-    if store is not None:
-        return execute(store)
-    with tempfile.TemporaryDirectory(prefix="repro-intra-") as tmp:
-        return execute(CheckpointStore(tmp))
+
+def run_streaming_partitioned(
+    config: object,
+    blocks: int,
+    store: Optional[CheckpointStore] = None,
+    topology: object = None,
+    snapshot_times: Optional[Sequence[float]] = None,
+    scope: str = "run-streaming-partitioned",
+) -> object:
+    """Run one :class:`StreamingSimConfig` as ``blocks`` checkpointed blocks.
+
+    The streaming counterpart of :func:`run_market_partitioned`: the result
+    is bit-identical to ``StreamingMarketSimulator.run_config(config)``
+    because every tick of the batched streaming kernel depends only on the
+    (fully picklable) simulator state before it — block boundaries are pure
+    pickle round-trips of that state, churn-event counters included.
+    """
+    from repro.p2psim.streaming_sim import StreamingMarketSimulator
+
+    return _run_partitioned(
+        StreamingMarketSimulator.run_config, config, blocks, store, topology,
+        snapshot_times, scope,
+    )

@@ -7,6 +7,15 @@ chunks from neighbours that hold them, and playback proceeds at the stream
 rate behind a start-up delay.  This package provides the protocol mechanics
 (chunks, buffer maps, chunk scheduling, playback accounting); credit
 settlement on top of chunk transfers lives in :mod:`repro.p2psim`.
+
+Status: **reference implementation.**  The production streaming simulator
+(:class:`~repro.p2psim.streaming_sim.StreamingMarketSimulator`) no longer
+drives these objects per event — it re-implements the same round
+semantics as batched array kernels over the whole swarm.  The classes
+here remain the object-per-peer, event-at-a-time statement of the
+protocol the kernels are modelled on (and the substrate for
+protocol-level experiments that don't need swarm scale); their tests pin
+the behaviours the batched kernels mirror.
 """
 
 from repro.streaming.chunks import BufferMap, Chunk, ChunkStore

@@ -1,9 +1,12 @@
-"""Tests for the chunk-level streaming market simulator."""
+"""Tests for the batched chunk-level streaming market simulator."""
+
+import dataclasses
 
 import numpy as np
 import pytest
 
 from repro.core.pricing import PerPeerFlatPricing, UniformPricing
+from repro.overlay.churn import ChurnConfig
 from repro.p2psim import StreamingMarketSimulator, StreamingSimConfig
 
 
@@ -34,6 +37,17 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             StreamingSimConfig(num_peers=10, topology_mean_degree=30.0)
 
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            StreamingSimConfig(kernel="bogus")
+
+    def test_accepts_both_kernels_and_churn(self):
+        churn = ChurnConfig(arrival_rate=0.5, mean_lifespan=100.0)
+        for kernel in ("loop", "vectorized"):
+            config = StreamingSimConfig(kernel=kernel, churn=churn)
+            assert config.kernel == kernel
+            assert config.churn is churn
+
 
 class TestStreamingRun:
     def test_chunks_flow_and_credits_move(self):
@@ -47,7 +61,7 @@ class TestStreamingRun:
         simulator = StreamingMarketSimulator(config)
         result = simulator.run()
         assert result.final_wealths.sum() == pytest.approx(30 * 15.0, rel=1e-9)
-        simulator.ledger.verify_conservation()
+        simulator.verify_conservation()
 
     def test_wealth_never_negative(self):
         result = StreamingMarketSimulator.run_config(small_config())
@@ -73,6 +87,23 @@ class TestStreamingRun:
     def test_spending_rate_gini_property(self):
         result = StreamingMarketSimulator.run_config(small_config())
         assert 0.0 <= result.spending_rate_gini <= 1.0
+
+    def test_snapshots_recorded_at_requested_times(self):
+        simulator = StreamingMarketSimulator(
+            small_config(), snapshot_times=[30.0, 90.0]
+        )
+        result = simulator.run()
+        assert set(result.recorder.snapshots) == {30.0, 90.0}
+
+    def test_advance_rounds_plus_finalize_equals_run(self):
+        whole = StreamingMarketSimulator(small_config()).run()
+        split = StreamingMarketSimulator(small_config())
+        total = split.total_rounds()
+        split.advance_rounds(total // 2)
+        split.advance_rounds(total - total // 2)
+        chunked = split.finalize()
+        assert whole.final_wealths.tobytes() == chunked.final_wealths.tobytes()
+        assert whole.chunks_delivered == chunked.chunks_delivered
 
 
 class TestEconomicEffects:
@@ -111,3 +142,142 @@ class TestEconomicEffects:
         # With a cap of one chunk per second and prices of one credit, nobody
         # can earn much faster than one credit per second.
         assert result.earning_rates.max() <= 1.5
+
+    def test_upload_capacity_never_exceeded_within_a_tick(self):
+        config = small_config(upload_capacity=1, horizon=60.0)
+        simulator = StreamingMarketSimulator(config)
+        for _ in range(simulator.total_rounds()):
+            before = simulator._uploads_total.copy()
+            simulator.advance_rounds(1)
+            per_tick = simulator._uploads_total - before
+            assert per_tick.max() <= config.upload_capacity
+
+
+class TestChurn:
+    def churn_config(self, **overrides):
+        defaults = dict(
+            churn=ChurnConfig(arrival_rate=0.4, mean_lifespan=60.0),
+            horizon=150.0,
+        )
+        defaults.update(overrides)
+        return small_config(**defaults)
+
+    def test_churn_changes_membership_and_counts_events(self):
+        simulator = StreamingMarketSimulator(self.churn_config())
+        result = simulator.run()
+        assert result.joins > 0
+        assert result.leaves > 0
+        assert result.extras["final_population"] == len(result.final_wealths)
+        assert result.extras["final_population"] == simulator.topology.num_peers
+
+    def test_conservation_under_churn_tracks_minted_and_destroyed(self):
+        simulator = StreamingMarketSimulator(self.churn_config())
+        simulator.run()
+        # Joins mint fresh endowments, leaves destroy balances; the open
+        # economy's conservation law must still balance exactly.
+        simulator.verify_conservation()
+        assert simulator._minted > simulator.config.num_peers * simulator.config.initial_credits
+        assert simulator._destroyed > 0
+
+    def test_departure_mid_purchase_drops_in_flight_chunks(self):
+        # Transfers outlive the scheduling interval, so a departing buyer
+        # leaves purchased chunks in flight.  They must be dropped — never
+        # crash the delivery, never land on whoever reuses the slot.
+        config = self.churn_config(transfer_latency=2.0)
+        simulator = StreamingMarketSimulator(config)
+        simulator.advance_rounds(10)
+        in_flight_slots = {
+            int(slot)
+            for batch in simulator._in_flight
+            for buyer_slots, _ in batch
+            for slot in buyer_slots
+        }
+        assert in_flight_slots, "expected purchases in flight"
+        victim_slot = sorted(in_flight_slots)[0]
+        victim_peer = simulator._peer_of[victim_slot]
+        simulator._tracker.leave(victim_peer)
+        simulator._evict(victim_peer)
+        remaining = {
+            int(slot)
+            for batch in simulator._in_flight
+            for buyer_slots, _ in batch
+            for slot in buyer_slots
+        }
+        assert victim_slot not in remaining
+        # The freed slot can be re-used by a joiner without inheriting the
+        # departed peer's pending chunks.
+        joiner = simulator._tracker.join()
+        reused_slot = simulator._admit(joiner)
+        assert reused_slot == victim_slot
+        assert not simulator._have[reused_slot].any()
+        simulator.advance_rounds(simulator.total_rounds() - 10)
+        simulator.verify_conservation()
+
+    def test_joiner_tunes_in_near_live_edge(self):
+        simulator = StreamingMarketSimulator(small_config())
+        simulator.advance_rounds(60)
+        joiner = simulator._tracker.join()
+        slot = simulator._admit(joiner)
+        live_edge = simulator._emitted - 1
+        assert simulator._pb_next[slot] == max(
+            0, simulator._emitted - simulator.config.startup_chunks
+        )
+        assert simulator._pb_next[slot] <= live_edge + 1
+
+
+class TestUploadSlotAccounting:
+    """Audit of the windowed upload-slot accounting.
+
+    The retired event-driven simulator derived the accounting epoch from
+    the float clock (``floor(now / scheduling_interval)``), which drifts:
+    accumulating 0.1-second intervals by repeated addition yields times
+    like 5.999999999999998 whose quotient floors into the *previous*
+    epoch, silently granting sellers a doubled capacity window.  The tick
+    simulator keys the epoch on the integer tick counter.
+    """
+
+    def test_float_epoch_derivation_drifts_but_tick_epoch_does_not(self):
+        interval = 0.1
+        now = 0.0
+        drifted = []
+        for tick in range(1, 601):
+            now += interval
+            if int(np.floor(now / interval)) != tick:
+                drifted.append(tick)
+        assert drifted, "expected the naive float epoch derivation to drift"
+        simulator = StreamingMarketSimulator(small_config(scheduling_interval=interval))
+        for expected_tick in range(5):
+            assert simulator._upload_epoch() == expected_tick == simulator._tick
+            simulator.advance_rounds(1)
+
+    def test_drift_prone_interval_never_over_admits(self):
+        # 0.1-second rounds for 600 ticks: per-tick admissions must respect
+        # the capacity even where the float clock would mis-bucket epochs.
+        config = small_config(
+            scheduling_interval=0.1,
+            chunk_rate=10.0,
+            horizon=60.0,
+            upload_capacity=1,
+            sample_interval=30.0,
+        )
+        simulator = StreamingMarketSimulator(config)
+        worst = 0.0
+        for _ in range(simulator.total_rounds()):
+            before = simulator._uploads_total.copy()
+            simulator.advance_rounds(1)
+            worst = max(worst, float((simulator._uploads_total - before).max()))
+        assert worst <= config.upload_capacity
+        assert simulator.chunks_delivered > 0
+
+
+class TestKernelParity:
+    def test_loop_and_vectorized_deliver_identical_results(self):
+        config = small_config()
+        vectorized = StreamingMarketSimulator.run_config(
+            dataclasses.replace(config, kernel="vectorized")
+        )
+        loop = StreamingMarketSimulator.run_config(
+            dataclasses.replace(config, kernel="loop")
+        )
+        assert vectorized.final_wealths.tobytes() == loop.final_wealths.tobytes()
+        assert vectorized.chunks_delivered == loop.chunks_delivered

@@ -1,0 +1,221 @@
+"""Cross-mode determinism for the streaming simulator: kernels, partitioning, sweeps.
+
+The PR that batched the streaming scheduling round promised the same
+contract the market simulator already honours: *how* a streaming
+simulation executes never changes *what* it produces.  These tests pin it
+at every layer:
+
+* simulator — the ``loop`` and ``vectorized`` scheduling kernels, fed the
+  same configuration, must end in byte-identical
+  :class:`StreamingSimResult`\\ s (static, churned, heterogeneously priced
+  and taxed swarms);
+* partition — a streaming run split into checkpointed round-blocks must
+  be byte-identical to the monolithic run (churn-event state included);
+* orchestrator — the streaming-backed fig5_6/fig11 smoke scenarios must
+  produce the same shard payloads and aggregates at ``jobs=1``,
+  ``jobs=4``, with ``intra_jobs=2`` chains, and from a warm cache.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import PerPeerFlatPricing
+from repro.core.taxation import ThresholdIncomeTax
+from repro.overlay import ChurnConfig
+from repro.p2psim import StreamingMarketSimulator, StreamingSimConfig
+from repro.runner import (
+    SCENARIOS,
+    aggregate_sweep,
+    run_streaming_partitioned,
+    run_sweep,
+)
+
+
+def fingerprint(result):
+    """Byte-level identity of everything a StreamingSimResult reports."""
+    return (
+        result.final_wealths.tobytes(),
+        result.spending_rates.tobytes(),
+        result.earning_rates.tobytes(),
+        result.continuity.tobytes(),
+        result.chunks_delivered,
+        result.joins,
+        result.leaves,
+        result.extras["final_population"],
+        result.extras["source_chunks"],
+        result.extras["tax_pool"],
+        tuple(result.extras["peer_order"]),
+        tuple(result.recorder.gini_series.x),
+        tuple(result.recorder.gini_series.y),
+        tuple(result.recorder.bankrupt_series.y),
+        tuple(result.recorder.mean_wealth_series.y),
+        tuple(result.recorder.population_series.y),
+    )
+
+
+def static_config(**overrides):
+    """Smoke-scale static streaming swarm (the Fig. 1 / Fig. 5-6 shape)."""
+    defaults = dict(
+        num_peers=36,
+        initial_credits=20.0,
+        horizon=130.0,
+        topology_mean_degree=8.0,
+        sample_interval=30.0,
+        upload_capacity=2,
+        seed=17,
+    )
+    defaults.update(overrides)
+    return StreamingSimConfig(**defaults)
+
+
+def churned_config(**overrides):
+    """Smoke-scale streaming swarm under churn (the Fig. 11 shape)."""
+    defaults = dict(
+        churn=ChurnConfig(arrival_rate=0.3, mean_lifespan=70.0),
+        seed=23,
+    )
+    defaults.update(overrides)
+    return static_config(**defaults)
+
+
+def priced_taxed_config(**overrides):
+    """Heterogeneous per-seller prices plus income taxation."""
+    prices = {peer: float(1 + peer % 3) for peer in range(36)}
+    defaults = dict(
+        pricing=PerPeerFlatPricing(prices),
+        tax_policy=ThresholdIncomeTax(rate=0.2, threshold=15.0),
+        seed=29,
+    )
+    defaults.update(overrides)
+    return static_config(**defaults)
+
+
+CONFIG_FACTORIES = {
+    "static": static_config,
+    "churned": churned_config,
+    "priced-taxed": priced_taxed_config,
+}
+
+
+class TestStreamingKernelEquivalence:
+    @pytest.mark.parametrize("shape", sorted(CONFIG_FACTORIES))
+    def test_loop_and_vectorized_kernels_byte_identical(self, shape):
+        config = CONFIG_FACTORIES[shape]()
+        vectorized = StreamingMarketSimulator.run_config(
+            dataclasses.replace(config, kernel="vectorized")
+        )
+        loop = StreamingMarketSimulator.run_config(
+            dataclasses.replace(config, kernel="loop")
+        )
+        assert fingerprint(vectorized) == fingerprint(loop)
+
+    def test_churn_exercised_in_churned_shape(self):
+        result = StreamingMarketSimulator.run_config(churned_config())
+        assert result.joins > 0 and result.leaves > 0
+
+    @pytest.mark.parametrize("choice", ["availability", "least-loaded", "cheapest"])
+    def test_supplier_policies_agree_across_kernels(self, choice):
+        config = static_config(supplier_choice=choice, horizon=80.0)
+        vectorized = StreamingMarketSimulator.run_config(
+            dataclasses.replace(config, kernel="vectorized")
+        )
+        loop = StreamingMarketSimulator.run_config(
+            dataclasses.replace(config, kernel="loop")
+        )
+        assert fingerprint(vectorized) == fingerprint(loop)
+
+
+class TestStreamingPartitionEquivalence:
+    @pytest.mark.parametrize("shape", sorted(CONFIG_FACTORIES))
+    @pytest.mark.parametrize("blocks", [2, 3, 7])
+    def test_round_blocks_byte_identical_to_monolithic(self, shape, blocks):
+        config = CONFIG_FACTORIES[shape]()
+        monolithic = StreamingMarketSimulator.run_config(config)
+        partitioned = run_streaming_partitioned(config, blocks=blocks)
+        assert fingerprint(monolithic) == fingerprint(partitioned)
+
+    def test_partitioned_snapshots_match(self):
+        config = static_config()
+        times = [40.0, 90.0]
+        monolithic = StreamingMarketSimulator(config, snapshot_times=times).run()
+        partitioned = run_streaming_partitioned(config, blocks=3, snapshot_times=times)
+        assert set(partitioned.recorder.snapshots) == set(monolithic.recorder.snapshots)
+        for time in times:
+            np.testing.assert_array_equal(
+                partitioned.recorder.snapshots[time], monolithic.recorder.snapshots[time]
+            )
+
+    def test_churn_event_state_survives_checkpoints(self):
+        config = churned_config()
+        monolithic = StreamingMarketSimulator.run_config(config)
+        partitioned = run_streaming_partitioned(config, blocks=4)
+        assert monolithic.joins == partitioned.joins > 0
+        assert monolithic.leaves == partitioned.leaves > 0
+        assert (
+            monolithic.extras["final_population"]
+            == partitioned.extras["final_population"]
+        )
+
+
+STREAMING_SCENARIOS = ("fig5_6-streaming-smoke", "fig11-streaming-smoke")
+
+
+class TestStreamingIntraJobsSweepEquivalence:
+    @pytest.mark.parametrize("scenario_name", STREAMING_SCENARIOS)
+    def test_serial_parallel_chained_and_cached_identical(self, scenario_name, tmp_path):
+        from repro.runner import ArtifactCache, scenario
+
+        spec = scenario(scenario_name, base_seed=17)
+        serial = run_sweep(spec, jobs=1)
+        pooled = run_sweep(spec, jobs=4)
+        chained = run_sweep(spec, jobs=4, intra_jobs=2)
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = run_sweep(spec, jobs=1, cache=cache, intra_jobs=2)
+        warm = run_sweep(spec, jobs=1, cache=cache)
+        assert serial.executed == pooled.executed == chained.executed == 2
+        assert cold.executed == 2 and warm.executed == 0 and warm.cached == 2
+        reference = [shard.payload for shard in serial.shards]
+        assert [shard.payload for shard in pooled.shards] == reference
+        assert [shard.payload for shard in chained.shards] == reference
+        assert [shard.payload for shard in cold.shards] == reference
+        assert [shard.payload for shard in warm.shards] == reference
+        reference_csv = aggregate_sweep(serial).to_csv()
+        for report in (pooled, chained, cold, warm):
+            assert aggregate_sweep(report).to_csv() == reference_csv
+
+    @pytest.mark.parametrize(
+        "experiment_id, config",
+        [
+            ("fig5_6", {"simulator": "streaming", "num_peers": 30, "horizon": 120.0}),
+            (
+                "fig11",
+                {
+                    "simulator": "streaming",
+                    "mean_lifespan": 60.0,
+                    "num_peers": 30,
+                    "horizon": 120.0,
+                },
+            ),
+        ],
+    )
+    def test_cross_kernel_point_runs_report_identical_rows(self, experiment_id, config):
+        # At a shared seed the kernel axis changes execution, never results:
+        # the loop and vectorized shards of the streaming-backed fig5_6 and
+        # fig11 points must report identical simulated quantities.
+        from repro.experiments.registry import run_sweep_point
+
+        rows = []
+        for kernel in ("loop", "vectorized"):
+            result = run_sweep_point(
+                experiment_id, dict(config, kernel=kernel), scale="smoke", seed=11
+            )
+            rows.append(
+                [row.as_dict() for table in result.tables for row in table]
+            )
+        assert rows[0] == rows[1]
+
+    def test_streaming_scenarios_registered(self):
+        for name in STREAMING_SCENARIOS:
+            assert name in SCENARIOS
