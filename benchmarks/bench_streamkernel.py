@@ -18,10 +18,22 @@ Two profiles share one recording format:
 
 ``REPRO_BENCH_STREAMKERNEL_OUT`` redirects the output file (CI writes to
 a scratch path so the committed baseline stays pristine).
+
+``REPRO_BENCH_TELEMETRY=1`` times every run under an *enabled*
+:class:`~repro.obs.emitter.MetricsEmitter` draining into a
+:class:`~repro.obs.sinks.MemorySink` (fresh per repeat), with a paired
+disabled-emitter run interleaved repeat-by-repeat in the same process
+(so machine load drift cancels out of the comparison) and recorded as
+``disabled_*_per_second`` next to the instrumented numbers; the paired
+runs must also end bit-identical — telemetry is strictly observational.
+CI feeds the resulting ``"telemetry": true`` recording to
+``check_telemetry_overhead.py`` to bound the observation cost (>5%
+throughput drop fails).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import platform
@@ -30,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import MemorySink, MetricsEmitter, use_emitter
 from repro.p2psim import StreamingMarketSimulator, StreamingSimConfig
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_streamkernel.json"
@@ -49,6 +62,11 @@ KERNELS = ("loop", "vectorized")
 #: Timing repeats per kernel (best-of): the gated vectorized kernel gets
 #: extra repeats because its runs are cheap and CI runners are noisy.
 REPEATS = {"loop": 2, "vectorized": 4}
+
+#: Repeats floor in telemetry mode: the 5% paired overhead gate needs a
+#: much tighter best-of estimate than the 30% cross-run baseline gate, so
+#: both sides of every pair are measured at least this many times.
+TELEMETRY_REPEATS = 5
 
 
 def _config(num_peers: int, ticks: int, kernel: str) -> StreamingSimConfig:
@@ -72,21 +90,57 @@ def _state_fingerprint(simulator: StreamingMarketSimulator) -> tuple:
     )
 
 
-def _measure(num_peers: int, ticks: int, kernel: str) -> dict:
-    """Best-of-``REPEATS[kernel]`` timing of one (population, kernel) cell."""
-    best = None
-    for _ in range(REPEATS[kernel]):
-        simulator = StreamingMarketSimulator(_config(num_peers, ticks, kernel))
+def _telemetry_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_TELEMETRY", "") not in ("", "0")
+
+
+def _telemetry_scope():
+    """Per-repeat emitter scope: enabled + fresh MemorySink, or a no-op."""
+    if _telemetry_enabled():
+        return use_emitter(MetricsEmitter(sinks=[MemorySink()]))
+    return contextlib.nullcontext()
+
+
+def _timed_run(num_peers: int, ticks: int, kernel: str, scope) -> dict:
+    simulator = StreamingMarketSimulator(_config(num_peers, ticks, kernel))
+    with scope:
         started = time.perf_counter()
         simulator.advance_rounds(ticks)
         elapsed = time.perf_counter() - started
-        if best is None or elapsed < best["seconds"]:
-            best = {
-                "seconds": elapsed,
-                "ticks_per_second": ticks / elapsed,
-                "chunks": simulator.chunks_delivered,
-                "fingerprint": _state_fingerprint(simulator),
-            }
+    return {
+        "seconds": elapsed,
+        "ticks_per_second": ticks / elapsed,
+        "chunks": simulator.chunks_delivered,
+        "fingerprint": _state_fingerprint(simulator),
+    }
+
+
+def _measure(num_peers: int, ticks: int, kernel: str) -> dict:
+    """Best-of-``REPEATS[kernel]`` timing of one (population, kernel) cell.
+
+    In telemetry mode every instrumented repeat is paired with a
+    disabled-emitter repeat in the same process; the best disabled timing
+    lands in ``disabled_ticks_per_second`` and the paired end states are
+    asserted bit-identical (enabling the emitter must observe the run,
+    never steer it).
+    """
+    telemetry = _telemetry_enabled()
+    repeats = max(REPEATS[kernel], TELEMETRY_REPEATS) if telemetry else REPEATS[kernel]
+    best = None
+    best_disabled = None
+    for _ in range(repeats):
+        if telemetry:
+            run = _timed_run(num_peers, ticks, kernel, contextlib.nullcontext())
+            if best_disabled is None or run["seconds"] < best_disabled["seconds"]:
+                best_disabled = run
+        run = _timed_run(num_peers, ticks, kernel, _telemetry_scope())
+        if best is None or run["seconds"] < best["seconds"]:
+            best = run
+    if telemetry:
+        assert best["fingerprint"] == best_disabled["fingerprint"], (
+            f"telemetry changed the {kernel} kernel's end state at {num_peers} peers"
+        )
+        best["disabled_ticks_per_second"] = best_disabled["ticks_per_second"]
     return best
 
 
@@ -105,27 +159,34 @@ def test_streamkernel_throughput():
         assert (
             measured["loop"]["fingerprint"] == measured["vectorized"]["fingerprint"]
         ), f"kernels diverged at {num_peers} peers"
-        populations.append(
-            {
-                "num_peers": num_peers,
-                "ticks": ticks,
-                "chunks": measured["vectorized"]["chunks"],
-                "loop_ticks_per_second": round(
-                    measured["loop"]["ticks_per_second"], 2
-                ),
-                "vectorized_ticks_per_second": round(
-                    measured["vectorized"]["ticks_per_second"], 2
-                ),
-                "speedup": round(
-                    measured["vectorized"]["ticks_per_second"]
-                    / measured["loop"]["ticks_per_second"],
-                    3,
-                ),
-            }
-        )
+        entry = {
+            "num_peers": num_peers,
+            "ticks": ticks,
+            "chunks": measured["vectorized"]["chunks"],
+            "loop_ticks_per_second": round(
+                measured["loop"]["ticks_per_second"], 2
+            ),
+            "vectorized_ticks_per_second": round(
+                measured["vectorized"]["ticks_per_second"], 2
+            ),
+            "speedup": round(
+                measured["vectorized"]["ticks_per_second"]
+                / measured["loop"]["ticks_per_second"],
+                3,
+            ),
+        }
+        if _telemetry_enabled():
+            entry["disabled_loop_ticks_per_second"] = round(
+                measured["loop"]["disabled_ticks_per_second"], 2
+            )
+            entry["disabled_vectorized_ticks_per_second"] = round(
+                measured["vectorized"]["disabled_ticks_per_second"], 2
+            )
+        populations.append(entry)
 
     record = {
         "profile": profile,
+        "telemetry": _telemetry_enabled(),
         "cpu_count": os.cpu_count(),
         "machine": platform.machine(),
         "python": platform.python_version(),

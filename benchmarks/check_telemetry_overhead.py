@@ -1,0 +1,133 @@
+"""Telemetry-overhead gate: instrumented vs disabled-emitter throughput.
+
+Usage::
+
+    python benchmarks/check_telemetry_overhead.py TELEMETRY.json [more.json ...]
+        [--tolerance 0.05] [--floor-us 25]
+
+Reads one or more kernel-benchmark recordings measured with
+``REPRO_BENCH_TELEMETRY=1``.  In that mode the benchmark interleaves an
+instrumented (enabled emitter + MemorySink) and a disabled-emitter run
+repeat-by-repeat in the same process — so machine load drift largely
+cancels — and records both: each population entry holds the instrumented
+``*_per_second`` throughputs next to their ``disabled_*_per_second``
+baselines.
+
+A metric fails the gate (exit code 1) when its instrumented throughput
+drops more than ``tolerance`` (default 5%, ``REPRO_TELEMETRY_TOLERANCE``
+env override) below its paired disabled baseline **and** the implied
+absolute cost exceeds ``floor-us`` microseconds per round/tick (default
+25, ``REPRO_TELEMETRY_FLOOR_US`` env override).  The absolute floor is
+what keeps the gate honest on the fastest cells: telemetry costs a
+couple of microseconds per round, so on a 50 µs round the 5% line sits
+*below* the timing noise of any shared runner — there, only a drop that
+is also large in absolute terms (a genuinely regressed emitter hot
+path, an accidental per-round allocation storm) can fail the gate.  On
+millisecond-scale rounds 5% is hundreds of microseconds, the floor is
+trivially exceeded by any real regression, and the gate reduces to the
+plain relative comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def _load(path: Path) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read benchmark recording {path}: {error}")
+
+
+def compare(record: dict, tolerance: float, floor_us: float, label: str) -> int:
+    """Print one recording's comparison table; return the number of overages."""
+    if not record.get("telemetry"):
+        raise SystemExit(
+            f"{label} is not tagged 'telemetry': true — "
+            "was it measured with REPRO_BENCH_TELEMETRY=1?"
+        )
+    overages = 0
+    compared = 0
+    print(
+        f"{label}: telemetry-overhead gate "
+        f"(tolerance {tolerance:.0%}, absolute floor {floor_us:.0f}us/round)"
+    )
+    for entry in record.get("populations") or []:
+        num_peers = int(entry["num_peers"])
+        for metric in sorted(entry):
+            if not metric.startswith("disabled_"):
+                continue
+            instrumented_metric = metric[len("disabled_"):]
+            if instrumented_metric not in entry:
+                continue
+            compared += 1
+            measured = float(entry[instrumented_metric])
+            base = float(entry[metric])
+            relative_floor = (1.0 - tolerance) * base
+            overhead_us = (1.0 / measured - 1.0 / base) * 1e6
+            failed = measured < relative_floor and overhead_us > floor_us
+            verdict = "OVERHEAD" if failed else "ok"
+            if failed:
+                overages += 1
+            unit = instrumented_metric.rsplit("_per_second", 1)[0].split("_")[-1] + "/s"
+            print(
+                f"  {num_peers:>5} peers {instrumented_metric.split('_')[0]:>10}: "
+                f"{measured:>10.1f} {unit} instrumented "
+                f"(disabled {base:.1f}, {overhead_us:+.1f}us/round) {verdict}"
+            )
+    if not compared:
+        raise SystemExit(
+            f"{label} holds no disabled_*/instrumented metric pairs to compare"
+        )
+    return overages
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "recordings",
+        type=Path,
+        nargs="+",
+        help="REPRO_BENCH_TELEMETRY=1 recordings (paired measurements)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_TELEMETRY_TOLERANCE", "0.05")),
+        help="allowed fractional throughput drop (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--floor-us",
+        type=float,
+        default=float(os.environ.get("REPRO_TELEMETRY_FLOOR_US", "25")),
+        help=(
+            "implied per-round overhead (microseconds) a failing metric must "
+            "also exceed (default: %(default)s)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("tolerance must be in [0, 1)")
+    if args.floor_us < 0:
+        parser.error("floor-us must be non-negative")
+    overages = 0
+    for path in args.recordings:
+        overages += compare(_load(path), args.tolerance, args.floor_us, str(path))
+    if overages:
+        print(
+            f"{overages} metric(s) lost more than the allowed throughput to telemetry",
+            file=sys.stderr,
+        )
+        return 1
+    print("instrumented throughput within tolerance of the paired disabled-emitter runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,16 @@ bit-identical between the kernels::
 
     python -m repro.cli sweep fig5_6 --param simulator=streaming \
         --param kernel=loop,vectorized --scale smoke
+
+``serve`` starts a resident sweep daemon (stdlib HTTP, JSON API): POST a
+sweep job to ``/runs``, poll its status at ``/runs/<id>``, stream its live
+per-round telemetry (Gini/bankruptcy series, kernel span timings, cache
+counters) from ``/runs/<id>/metrics``, fetch the finished shard payloads
+from ``/runs/<id>/result``, and read the committed benchmark history from
+``/bench``.  Jobs run through the same orchestrator and artifact cache as
+``sweep``, so daemon-run sweeps are byte-identical to CLI-run ones::
+
+    python -m repro.cli serve --port 8765 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -147,6 +157,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", default=None, help="optional path to write the aggregate table as CSV"
     )
     _add_sweep_options(sweep_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the resident sweep daemon (JSON API with live per-round metrics)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="bind port, 0 = ephemeral (default: %(default)s)"
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache directory shared by all submitted sweeps",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes per sweep job; 1 (the default) runs shards "
+            "in-process so simulator metrics stream live"
+        ),
+    )
+    serve_parser.add_argument(
+        "--intra-jobs", type=int, default=1, help="round-blocks per simulation"
+    )
+    serve_parser.add_argument(
+        "--bench-root",
+        default=None,
+        help="directory scanned for BENCH_*.json by /bench (default: repo root)",
+    )
     return parser
 
 
@@ -195,6 +238,7 @@ def _run_orchestrated(
     try:
         report = run_sweep(spec, jobs=jobs, cache=cache, progress=print, intra_jobs=intra_jobs)
         print(report.describe())
+        print(report.summary_line())
         print()
         if reps == 1:
             # A single replication is a plain run (with caching/workers);
@@ -229,31 +273,15 @@ def _build_sweep_spec(args: argparse.Namespace):
     named scenario's pinned scale (the figN-paper bundles pin ``paper``)
     and means ``default`` for ad-hoc experiment-id sweeps.
     """
-    from repro.experiments import validate_sweep_config
-    from repro.runner import SCENARIOS, ParamGrid, SweepSpec, scenario
+    from repro.runner import ParamGrid, build_spec
 
-    if args.target in SCENARIOS:
-        spec = scenario(
-            args.target, replications=args.reps, base_seed=args.seed, scale=args.scale
-        )
-        if args.param:
-            spec.grid = ParamGrid.parse(args.param)
-    else:
-        spec = SweepSpec(
-            args.target,
-            grid=ParamGrid.parse(args.param),
-            replications=args.reps,
-            base_seed=args.seed,
-            scale=args.scale or Scale.DEFAULT.value,
-        )
-    # Fail fast on a typo'd experiment id or axis name: validating here
-    # surfaces one clean error instead of a per-shard failure from
-    # inside a worker process.  (An empty grid's single {} config is a
-    # whole-experiment replication and carries no axes to validate.)
-    axis_names = {name for config in spec.configs() for name in config}
-    if axis_names:
-        validate_sweep_config(spec.experiment_id, axis_names)
-    return spec
+    return build_spec(
+        args.target,
+        grid=ParamGrid.parse(args.param) if args.param else None,
+        replications=args.reps,
+        base_seed=args.seed,
+        scale=args.scale,
+    )
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
@@ -269,12 +297,27 @@ def _command_sweep(args: argparse.Namespace) -> int:
             spec, jobs=args.jobs, cache=cache, progress=print, intra_jobs=args.intra_jobs
         )
         print(report.describe())
+        print(report.summary_line())
         print()
         # Aggregation can reject a sweep too (ragged replications), so it
         # stays inside the try: clean stderr + exit 2, not a traceback.
         return _emit_result(aggregate_report(report), args.csv)
     except (KeyError, ValueError) as error:
         return _print_error(error)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.obs.server import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        intra_jobs=args.intra_jobs,
+        bench_root=args.bench_root,
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -285,6 +328,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "serve":
+        return _command_serve(args)
     return _command_run(args)
 
 

@@ -1,0 +1,37 @@
+"""Observability subsystem: metrics emitter, sinks, bench views, sweep daemon.
+
+``repro.obs`` layers a strictly observational telemetry pipeline over the
+simulators and the runner:
+
+* :mod:`repro.obs.emitter` — :class:`MetricsEmitter` (counters, gauges,
+  time-series points, nested timing spans, lifecycle marks) plus the
+  context-scoped active-emitter installation (:func:`get_emitter` /
+  :func:`use_emitter`).  The default emitter is :data:`DISABLED` — a
+  guaranteed no-op on every hot path.
+* :mod:`repro.obs.sinks` — pluggable event sinks: in-memory aggregation
+  (:class:`MemorySink`), JSON-lines streaming (:class:`JSONLSink`),
+  callback forwarding (:class:`CallbackSink`).
+* :mod:`repro.obs.bench` — the ``BENCH_*.json`` perf-trajectory
+  aggregation backing the daemon's ``/bench`` view.
+* :mod:`repro.obs.server` — the ``repro serve`` resident sweep daemon
+  (imported lazily; pulls in the runner stack).
+
+Instrumented runs are byte-identical to uninstrumented ones: telemetry
+reads simulator state and wall clocks, never the RNG streams.
+"""
+
+from repro.obs.bench import default_bench_root, load_bench_history
+from repro.obs.emitter import DISABLED, MetricsEmitter, get_emitter, use_emitter
+from repro.obs.sinks import CallbackSink, JSONLSink, MemorySink
+
+__all__ = [
+    "CallbackSink",
+    "DISABLED",
+    "JSONLSink",
+    "MemorySink",
+    "MetricsEmitter",
+    "default_bench_root",
+    "get_emitter",
+    "load_bench_history",
+    "use_emitter",
+]

@@ -1,0 +1,149 @@
+"""Pluggable event sinks for :class:`~repro.obs.emitter.MetricsEmitter`.
+
+A sink is anything with an ``emit(event: dict)`` method.  Three stdlib-only
+implementations cover the repo's needs:
+
+* :class:`MemorySink` — appends events to a list and aggregates them into
+  dashboard-ready counters/gauges/series/span summaries.  This is what the
+  ``repro serve`` daemon attaches to every job (CPython list appends are
+  atomic under the GIL, so the HTTP threads snapshot a running job's
+  events without locking the hot path).
+* :class:`JSONLSink` — streams events to a JSON-lines file, one event per
+  line, flushed per event so ``tail -f`` shows a run live; read back with
+  :meth:`JSONLSink.read`.
+* :class:`CallbackSink` — forwards every event to a callable (ad-hoc
+  hooks, test probes, bridges to external pipelines).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, List
+
+__all__ = ["MemorySink", "JSONLSink", "CallbackSink"]
+
+
+class MemorySink:
+    """Collects events in memory and aggregates them on demand."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------ aggregates
+
+    def _snapshot_events(self) -> List[Dict[str, object]]:
+        # Copy-on-read: the emitting thread may still be appending.
+        return list(self.events)
+
+    def counters(self) -> Dict[str, float]:
+        """Summed counter values by name."""
+        totals: Dict[str, float] = {}
+        for event in self._snapshot_events():
+            if event["type"] == "counter":
+                name = str(event["name"])
+                totals[name] = totals.get(name, 0.0) + float(event["value"])  # type: ignore[arg-type]
+        return totals
+
+    def gauges(self) -> Dict[str, float]:
+        """Last recorded gauge value by name."""
+        latest: Dict[str, float] = {}
+        for event in self._snapshot_events():
+            if event["type"] == "gauge":
+                latest[str(event["name"])] = float(event["value"])  # type: ignore[arg-type]
+        return latest
+
+    def series(self) -> Dict[str, Dict[str, List[float]]]:
+        """Every ``point`` series as ``{name: {"x": [...], "y": [...]}}``."""
+        out: Dict[str, Dict[str, List[float]]] = {}
+        for event in self._snapshot_events():
+            if event["type"] == "point":
+                slot = out.setdefault(str(event["name"]), {"x": [], "y": []})
+                slot["x"].append(float(event["x"]))  # type: ignore[arg-type]
+                slot["y"].append(float(event["y"]))  # type: ignore[arg-type]
+        return out
+
+    def spans(self) -> Dict[str, Dict[str, float]]:
+        """Per-name span summary: count, total/max/mean duration (seconds)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for event in self._snapshot_events():
+            if event["type"] == "span":
+                name = str(event["name"])
+                summary = out.setdefault(
+                    name, {"count": 0.0, "total": 0.0, "max": 0.0}
+                )
+                duration = float(event["duration"])  # type: ignore[arg-type]
+                summary["count"] += 1.0
+                summary["total"] += duration
+                summary["max"] = max(summary["max"], duration)
+        for summary in out.values():
+            summary["mean"] = summary["total"] / summary["count"]
+        return out
+
+    def marks(self) -> List[Dict[str, object]]:
+        """Every ``mark`` event, in emission order."""
+        return [event for event in self._snapshot_events() if event["type"] == "mark"]
+
+    def span_events(self) -> List[Dict[str, object]]:
+        """Every raw ``span`` event, in emission (exit-time) order."""
+        return [event for event in self._snapshot_events() if event["type"] == "span"]
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-safe aggregate of everything recorded so far."""
+        return {
+            "events": len(self.events),
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "series": self.series(),
+            "spans": self.spans(),
+            "marks": self.marks(),
+        }
+
+
+class JSONLSink:
+    """Streams events to a JSON-lines file (one event per line, flushed)."""
+
+    def __init__(self, path: os.PathLike | str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @staticmethod
+    def read(path: os.PathLike | str) -> List[Dict[str, object]]:
+        """Read a JSONL event file back into the list of event dicts."""
+        events: List[Dict[str, object]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        return events
+
+
+class CallbackSink:
+    """Forwards every event to ``callback`` (exceptions propagate to the emitter)."""
+
+    def __init__(self, callback: Callable[[Dict[str, object]], None]) -> None:
+        self.callback = callback
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self.callback(event)

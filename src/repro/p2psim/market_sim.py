@@ -17,11 +17,13 @@ tens of thousands of simulated seconds run in seconds of wall-clock time.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import get_emitter
 from repro.overlay.generators import scale_free_topology
 from repro.overlay.membership import MembershipTracker
 from repro.overlay.topology import OverlayTopology
@@ -410,10 +412,22 @@ class CreditMarketSimulator:
             self._apply_taxation(self._zero_income)
             return
         draws = rng.random(total)
+        # The kernel runs tens of thousands of times per second, so its
+        # timing is a pre-measured `timing()` event rather than a `span()`
+        # context manager — roughly half the per-round instrumentation
+        # cost, which the telemetry-overhead CI gate holds under 5%.
+        emitter = get_emitter()
+        observing = emitter.enabled
+        kernel_started = time.perf_counter() if observing else 0.0
         if self.config.kernel == "loop":
             income = self._route_credits_loop(pack, spendable, draws)
         else:
             income = self._route_credits_vectorized(pack, spendable, draws)
+        if observing:
+            emitter.timing(
+                "market.kernel." + self.config.kernel,
+                time.perf_counter() - kernel_started,
+            )
         spent = spendable.astype(float)
         self._balance[alive_slots] -= spent
         self._spent[alive_slots] += spent
@@ -436,6 +450,8 @@ class CreditMarketSimulator:
         because each round's draws depend only on the state before it.
         """
         dt = self.config.step
+        observing = get_emitter().enabled
+        started = time.perf_counter() if observing else 0.0
         for _ in range(rounds):
             if self._time + 1e-9 >= self._next_sample:
                 self._record_sample()
@@ -443,6 +459,9 @@ class CreditMarketSimulator:
             self._apply_churn(dt)
             self._spending_round(dt)
             self._time += dt
+        if observing and rounds:
+            elapsed = max(time.perf_counter() - started, 1e-9)
+            get_emitter().gauge("market.steps_per_second", rounds / elapsed)
 
     def finalize(self) -> MarketSimResult:
         """Record the final sample and assemble the run's result."""
@@ -456,7 +475,20 @@ class CreditMarketSimulator:
 
     def _record_sample(self) -> None:
         alive_slots = np.flatnonzero(self._alive)
+        emitter = get_emitter()
+        before = len(self.recorder.gini_series.x) if emitter.enabled else 0
         self.recorder.record(self._time, self._balance[alive_slots])
+        # Stream the freshly recorded sample (the recorder drops empty
+        # populations, so only emit when it actually appended one).
+        if emitter.enabled and len(self.recorder.gini_series.x) > before:
+            emitter.point("market.gini", self._time, self.recorder.gini_series.y[-1])
+            emitter.point(
+                "market.bankrupt_fraction", self._time, self.recorder.bankrupt_series.y[-1]
+            )
+            emitter.point(
+                "market.mean_wealth", self._time, self.recorder.mean_wealth_series.y[-1]
+            )
+            emitter.point("market.population", self._time, float(alive_slots.size))
 
     def _build_result(self) -> MarketSimResult:
         alive_slots = np.flatnonzero(self._alive)

@@ -39,8 +39,13 @@ class WealthRecorder:
     # ------------------------------------------------------------------ recording
 
     def record(self, time: float, wealths: Sequence[float]) -> None:
-        """Record one sample of the wealth vector at simulation time ``time``."""
-        arr = np.asarray(list(wealths), dtype=float)
+        """Record one sample of the wealth vector at simulation time ``time``.
+
+        ``wealths`` is any array-like; ndarray input is consumed as-is
+        (no Python-level ``list`` round-trip, no copy — the metrics below
+        never mutate it, and snapshots sort into a fresh array).
+        """
+        arr = np.asarray(wealths, dtype=float)
         if arr.size == 0:
             return
         time = float(time)

@@ -60,11 +60,13 @@ commutes with the batched tick.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_emitter
 from repro.overlay.generators import scale_free_topology
 from repro.overlay.membership import MembershipTracker
 from repro.overlay.topology import OverlayTopology
@@ -860,30 +862,56 @@ class StreamingMarketSimulator:
         config = self.config
         dt = config.scheduling_interval
         stateful_pricing = config.pricing.is_stateful()
+        emitter = get_emitter()
+        observing = emitter.enabled
+        started = time.perf_counter() if observing else 0.0
         for _ in range(rounds):
             if self.now + 1e-9 >= self._next_sample:
                 self._record_sample()
                 self._next_sample += config.sample_interval
-            self._apply_churn(dt)
-            self._emit_due_chunks()
-            if stateful_pricing:
-                config.pricing.reset_round()
-                self._refresh_price_window()
-            pack = self._stream_pack()
-            balances = self._balance[pack.alive_slots]
-            uniforms = self._rng.random((pack.alive_slots.size, config.playback_window))
-            if config.kernel == "loop":
-                buyers, sellers, chunk_abs, prices = self._schedule_loop(
-                    pack, balances, uniforms, self._win_base, self._emitted - 1
-                )
+            if observing:
+                with emitter.span("streaming.tick"):
+                    self._advance_tick(dt, stateful_pricing)
             else:
-                buyers, sellers, chunk_abs, prices = self._schedule_vectorized(
-                    pack, balances, uniforms, self._win_base, self._emitted - 1
-                )
-            self._settle(pack, buyers, sellers, chunk_abs, prices)
-            self._advance_playback(pack, dt)
-            self._apply_deliveries()
+                self._advance_tick(dt, stateful_pricing)
             self._tick += 1
+        if observing and rounds:
+            elapsed = max(time.perf_counter() - started, 1e-9)
+            emitter.gauge("streaming.ticks_per_second", rounds / elapsed)
+
+    def _advance_tick(self, dt: float, stateful_pricing: bool) -> None:
+        """Execute one scheduling tick (churn, emission, scheduling, settlement)."""
+        config = self.config
+        self._apply_churn(dt)
+        self._emit_due_chunks()
+        if stateful_pricing:
+            config.pricing.reset_round()
+            self._refresh_price_window()
+        pack = self._stream_pack()
+        balances = self._balance[pack.alive_slots]
+        uniforms = self._rng.random((pack.alive_slots.size, config.playback_window))
+        emitter = get_emitter()
+        if emitter.enabled:
+            with emitter.span("streaming.kernel." + config.kernel):
+                if config.kernel == "loop":
+                    buyers, sellers, chunk_abs, prices = self._schedule_loop(
+                        pack, balances, uniforms, self._win_base, self._emitted - 1
+                    )
+                else:
+                    buyers, sellers, chunk_abs, prices = self._schedule_vectorized(
+                        pack, balances, uniforms, self._win_base, self._emitted - 1
+                    )
+        elif config.kernel == "loop":
+            buyers, sellers, chunk_abs, prices = self._schedule_loop(
+                pack, balances, uniforms, self._win_base, self._emitted - 1
+            )
+        else:
+            buyers, sellers, chunk_abs, prices = self._schedule_vectorized(
+                pack, balances, uniforms, self._win_base, self._emitted - 1
+            )
+        self._settle(pack, buyers, sellers, chunk_abs, prices)
+        self._advance_playback(pack, dt)
+        self._apply_deliveries()
 
     def finalize(self) -> StreamingSimResult:
         """Record the final sample and assemble the run's result."""
@@ -915,8 +943,21 @@ class StreamingMarketSimulator:
 
     def _record_sample(self) -> None:
         order = self._peer_order()
-        balances = [float(self._balance[self._slot_of[peer]]) for peer in order]
-        self.recorder.record(self.now, balances)
+        slots = np.array([self._slot_of[peer] for peer in order], dtype=np.int64)
+        emitter = get_emitter()
+        before = len(self.recorder.gini_series.x) if emitter.enabled else 0
+        self.recorder.record(self.now, self._balance[slots])
+        # Stream the freshly recorded sample (the recorder drops empty
+        # populations, so only emit when it actually appended one).
+        if emitter.enabled and len(self.recorder.gini_series.x) > before:
+            emitter.point("streaming.gini", self.now, self.recorder.gini_series.y[-1])
+            emitter.point(
+                "streaming.bankrupt_fraction", self.now, self.recorder.bankrupt_series.y[-1]
+            )
+            emitter.point(
+                "streaming.mean_wealth", self.now, self.recorder.mean_wealth_series.y[-1]
+            )
+            emitter.point("streaming.population", self.now, float(len(order)))
 
     def _build_result(self) -> StreamingSimResult:
         order = self._peer_order()

@@ -49,6 +49,7 @@ from repro.runner.grid import (
     ParamGrid,
     SweepSpec,
     SweepTask,
+    build_spec,
     canonical_config,
     scenario,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "aggregate_report",
     "aggregate_sweep",
     "bootstrap_ci",
+    "build_spec",
     "canonical_config",
     "code_fingerprint",
     "default_jobs",

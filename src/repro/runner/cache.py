@@ -31,6 +31,7 @@ from typing import Dict, Mapping, Optional
 
 import repro
 from repro.experiments.common import ExperimentResult
+from repro.obs import get_emitter
 from repro.runner.grid import SweepTask, _jsonable
 from repro.utils.records import ResultRecord, ResultTable, SeriesRecord
 
@@ -173,12 +174,16 @@ class ArtifactCache:
                 payload = json.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            get_emitter().counter("cache.miss")
             return None
         except (json.JSONDecodeError, OSError):
             self.misses += 1
             path.unlink(missing_ok=True)
+            get_emitter().counter("cache.miss")
+            get_emitter().counter("cache.evict")
             return None
         self.hits += 1
+        get_emitter().counter("cache.hit")
         return payload
 
     def store(self, key: str, payload: Mapping[str, object]) -> Path:
@@ -199,6 +204,7 @@ class ArtifactCache:
             os.unlink(handle.name)
             raise
         self.stores += 1
+        get_emitter().counter("cache.store")
         return path
 
     def discard(self, key: str) -> bool:
@@ -206,6 +212,7 @@ class ArtifactCache:
         path = self._path(key)
         if path.is_file():
             path.unlink()
+            get_emitter().counter("cache.evict")
             return True
         return False
 

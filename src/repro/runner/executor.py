@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import run_sweep_point
+from repro.obs import get_emitter
 from repro.runner.cache import ArtifactCache, code_fingerprint, payload_to_result, result_to_payload, task_key
 from repro.runner.grid import SweepSpec, SweepTask
 from repro.runner.partition import BlockContext, CheckpointStore, OutOfBlockBudget
@@ -87,6 +88,10 @@ class SweepReport:
         (``1`` = monolithic shards).
     duration:
         Wall-clock seconds spent inside :func:`run_sweep`.
+    cache_stats:
+        The artifact cache's ``hits``/``misses``/``stores`` counters as
+        observed at the end of the sweep (``None`` when no cache was
+        given).
     """
 
     spec: SweepSpec
@@ -96,6 +101,7 @@ class SweepReport:
     jobs: int = 1
     intra_jobs: int = 1
     duration: float = 0.0
+    cache_stats: Optional[Dict[str, int]] = None
 
     def results(self) -> List[ExperimentResult]:
         """Deserialised results in shard order."""
@@ -114,6 +120,22 @@ class SweepReport:
         return (
             f"{self.spec.describe()} — {self.executed} executed, "
             f"{self.cached} from cache, jobs={self.jobs}{intra}, {self.duration:.2f}s"
+        )
+
+    def summary_line(self) -> str:
+        """Per-sweep accounting summary: configs / cache hits / shards / wall time.
+
+        Cache hits come from the cache's own counters when a cache was in
+        play (they equal the restored-shard count for a plain sweep) so
+        the line surfaces exactly what the instrumentation recorded.
+        """
+        configs = len(self.spec.configs())
+        hits = self.cache_stats["hits"] if self.cache_stats else self.cached
+        return (
+            f"summary: {configs} config{'s' if configs != 1 else ''} | "
+            f"{hits} cache hit{'s' if hits != 1 else ''} | "
+            f"{self.executed} shard{'s' if self.executed != 1 else ''} executed | "
+            f"{self.duration:.2f}s wall"
         )
 
 
@@ -263,6 +285,14 @@ def run_sweep(
     tasks = spec.tasks()
     say = progress or (lambda message: None)
     say(spec.describe())
+    emitter = get_emitter()
+    emitter.mark(
+        "runner.sweep.start",
+        experiment_id=spec.experiment_id,
+        shards=len(tasks),
+        jobs=jobs,
+        intra_jobs=intra_jobs,
+    )
 
     ordered: List[Optional[ShardResult]] = [None] * len(tasks)
     pending: List[int] = []
@@ -279,6 +309,7 @@ def run_sweep(
                 pending.append(index)
         if len(pending) < len(tasks):
             say(f"cache: restored {len(tasks) - len(pending)}/{len(tasks)} shards")
+            emitter.counter("runner.shard.cached", len(tasks) - len(pending))
     else:
         pending = list(range(len(tasks)))
 
@@ -295,6 +326,12 @@ def run_sweep(
             if checkpoint_root.is_dir():
                 CheckpointStore(checkpoint_root).prune_scope(keys[index])
         say(f"executed shard {count}/{len(pending)}")
+        emitter.counter("runner.shard.executed")
+        emitter.mark(
+            "runner.shard.committed",
+            config_index=tasks[index].config_index,
+            replication=tasks[index].replication,
+        )
 
     if pending:
         if intra_jobs > 1:
@@ -343,6 +380,14 @@ def run_sweep(
                 raise first_error
 
     shards = [shard for shard in ordered if shard is not None]
+    duration = time.perf_counter() - started
+    emitter.gauge("runner.sweep.duration", duration)
+    emitter.mark(
+        "runner.sweep.done",
+        experiment_id=spec.experiment_id,
+        executed=len(pending),
+        cached=len(tasks) - len(pending),
+    )
     return SweepReport(
         spec=spec,
         shards=shards,
@@ -350,5 +395,6 @@ def run_sweep(
         cached=len(tasks) - len(pending),
         jobs=jobs,
         intra_jobs=intra_jobs,
-        duration=time.perf_counter() - started,
+        duration=duration,
+        cache_stats=cache.stats() if cache is not None else None,
     )

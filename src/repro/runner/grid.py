@@ -36,6 +36,7 @@ __all__ = [
     "SweepSpec",
     "SweepTask",
     "SCENARIOS",
+    "build_spec",
     "canonical_config",
     "scenario",
 ]
@@ -558,4 +559,48 @@ def scenario(
         spec.base_seed = base_seed
     if scale is not None:
         spec.scale = Scale(scale).value
+    return spec
+
+
+def build_spec(
+    target: str,
+    grid: Optional[object] = None,
+    replications: int = 1,
+    base_seed: int = 0,
+    scale: Optional[str] = None,
+) -> SweepSpec:
+    """Resolve ``target`` into a validated :class:`SweepSpec`.
+
+    ``target`` is either a named scenario bundle (which keeps its pinned
+    scale unless ``scale`` is given, and whose grid ``grid`` overrides
+    when provided) or a sweepable experiment id (swept over ``grid``, at
+    ``scale`` or the default scale).  Every axis name in the expanded
+    configurations is validated against the experiment's declared sweep
+    parameters before anything executes, so a typo'd axis raises one
+    clean ``KeyError``/``ValueError`` here instead of a per-shard failure
+    inside a worker.  Shared by the CLI (string-parsed grids) and the
+    ``repro serve`` daemon (JSON-provided grids).
+    """
+    from repro.experiments import get_sweep_runner, validate_sweep_config
+
+    if target in SCENARIOS:
+        spec = scenario(target, replications=replications, base_seed=base_seed, scale=scale)
+        if grid is not None:
+            spec.grid = grid
+    else:
+        spec = SweepSpec(
+            target,
+            grid=grid if grid is not None else ParamGrid(),
+            replications=replications,
+            base_seed=base_seed,
+            scale=scale or Scale.DEFAULT.value,
+        )
+    # (An empty grid's single {} config is a whole-experiment replication
+    # and carries no axes to validate — but the experiment itself must
+    # still exist, so an unknown target fails here, not inside a worker.)
+    axis_names = {name for config in spec.configs() for name in config}
+    if axis_names:
+        validate_sweep_config(spec.experiment_id, axis_names)
+    else:
+        get_sweep_runner(spec.experiment_id)
     return spec

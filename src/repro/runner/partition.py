@@ -52,8 +52,11 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
+
+from repro.obs import get_emitter
 
 __all__ = [
     "BlockContext",
@@ -159,14 +162,20 @@ class CheckpointStore:
         that produced it simply re-executes.
         """
         path = self._path(scope, ordinal, block, blocks)
+        emitter = get_emitter()
+        started = time.perf_counter() if emitter.enabled else 0.0
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                state = pickle.load(handle)
         except FileNotFoundError:
             return None
         except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
             path.unlink(missing_ok=True)
             return None
+        # Only successful restores are timed: the restore scan probes
+        # blocks newest-first and the misses are pure stat calls.
+        emitter.timing("checkpoint.restore", time.perf_counter() - started)
+        return state
 
     def store(
         self, scope: str, ordinal: int, block: int, blocks: int, state: object
@@ -174,6 +183,8 @@ class CheckpointStore:
         """Atomically pickle ``state`` under its address and return the path."""
         path = self._path(scope, ordinal, block, blocks)
         path.parent.mkdir(parents=True, exist_ok=True)
+        emitter = get_emitter()
+        started = time.perf_counter() if emitter.enabled else 0.0
         handle = tempfile.NamedTemporaryFile(
             "wb", dir=path.parent, suffix=".tmp", delete=False
         )
@@ -184,6 +195,7 @@ class CheckpointStore:
         except BaseException:
             os.unlink(handle.name)
             raise
+        emitter.timing("checkpoint.save", time.perf_counter() - started)
         return path
 
     def discard(self, scope: str, ordinal: int, block: int, blocks: int) -> bool:
@@ -224,8 +236,6 @@ class CheckpointStore:
         """
         if max_age_seconds is None:
             max_age_seconds = self.STALE_AFTER_SECONDS
-        import time
-
         cutoff = time.time() - max_age_seconds
         removed = 0
         for directory in self._root.iterdir():

@@ -108,6 +108,7 @@ class TestCommands:
         first = capsys.readouterr().out
         assert "4 shards" in first
         assert "4 executed, 0 from cache" in first
+        assert "summary: 2 configs | 0 cache hits | 4 shards executed |" in first
         content = target.read_text()
         assert "metric" in content.splitlines()[0]
 
@@ -115,6 +116,7 @@ class TestCommands:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert "0 executed, 4 from cache" in second
+        assert "summary: 2 configs | 4 cache hits | 0 shards executed |" in second
         assert target.read_text() == content
 
     def test_sweep_named_scenario_runs(self, capsys):
