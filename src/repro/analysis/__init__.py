@@ -1,0 +1,62 @@
+"""Determinism & checkpoint-safety static analyzer (``repro analyze``).
+
+An AST-level linter that encodes this repository's reproducibility
+contract as enforceable rules — the static counterpart to the dynamic
+determinism suite and the benchmark-regression gate:
+
+=========  ==============================================================
+DET001     randomness only via injected generators, never global RNG state
+DET002     set / filesystem iteration feeding results must be sorted
+DET003     no wall-clock reads in result paths (monotonic spans are fine)
+PICKLE001  checkpointed state must stay picklable (no lambdas/handles/locks)
+OBS001     hot-loop telemetry guarded by the branch-on-local-bool pattern
+KERNEL001  loop/vectorized kernel pairs reachable from the config switch
+NOQA001    suppressions must name rules and carry a ``-- reason``
+NOQA002    stale suppressions must be removed
+PARSE001   unparsable files gate the build
+=========  ==============================================================
+
+Line-level escapes use ``# repro: noqa RULE123 -- reason``; repo-level
+grandfathering lives in the committed ``.repro-analysis-baseline.json``
+(regenerate with ``repro analyze --write-baseline``); per-function policy
+exemptions live in :mod:`repro.analysis.config` as allowed contexts with
+written justifications.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.config import DEFAULT_CONFIG, AllowedContext, AnalysisConfig, Scope
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    all_rules,
+    select_rules,
+)
+from repro.analysis.report import render_human, render_json, write_json
+from repro.analysis.walker import Report, analyze_file, analyze_paths, iter_python_files
+
+# Importing the rules package registers every shipped rule.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "AnalysisConfig",
+    "AllowedContext",
+    "Scope",
+    "DEFAULT_CONFIG",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "select_rules",
+    "Report",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+    "render_human",
+    "render_json",
+    "write_json",
+]

@@ -1,0 +1,135 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the CI gate block *new* findings while known, justified
+ones ride along.  Entries match on ``(rule, path, content-hash)`` — the
+hash covers the rule id plus the stripped source line, so unrelated edits
+that merely shift line numbers do not invalidate the baseline, while any
+change to the flagged line itself re-surfaces the finding for review.
+
+Regeneration (``repro analyze --write-baseline``) preserves the written
+justification of every surviving entry, so the reviewable "why is this
+allowed" record outlives reformatting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.core import STATUS_ACTIVE, STATUS_BASELINED, Finding
+
+__all__ = ["BaselineEntry", "Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    content_hash: str
+    #: Informational only — where the finding sat when the entry was written.
+    line: int
+    snippet: str
+    justification: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.content_hash)
+
+
+class Baseline:
+    """An ordered collection of grandfathered findings."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        source = Path(path)
+        if not source.is_file():
+            return cls()
+        payload = json.loads(source.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline format version {version!r} in {source} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                rule=str(item["rule"]),
+                path=str(item["path"]),
+                content_hash=str(item["content_hash"]),
+                line=int(item.get("line", 0)),
+                snippet=str(item.get("snippet", "")),
+                justification=str(item.get("justification", "")),
+            )
+            for item in payload.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "content_hash": entry.content_hash,
+                    "line": entry.line,
+                    "snippet": entry.snippet,
+                    "justification": entry.justification,
+                }
+                for entry in self.entries
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def apply(self, findings: Sequence[Finding]) -> None:
+        """Mark baselined findings in place (count-aware per key)."""
+        budget: Counter[Tuple[str, str, str]] = Counter(entry.key for entry in self.entries)
+        reasons: Dict[Tuple[str, str, str], str] = {}
+        for entry in self.entries:
+            reasons.setdefault(entry.key, entry.justification)
+        for finding in findings:
+            if finding.status != STATUS_ACTIVE:
+                continue
+            if budget.get(finding.key, 0) > 0:
+                budget[finding.key] -= 1
+                finding.status = STATUS_BASELINED
+                finding.justification = reasons.get(finding.key, "")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], previous: Optional["Baseline"] = None
+    ) -> "Baseline":
+        """Baseline every gating finding, keeping surviving justifications."""
+        carried: Dict[Tuple[str, str, str], str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                carried.setdefault(entry.key, entry.justification)
+        entries = [
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                content_hash=finding.content_hash,
+                line=finding.line,
+                snippet=finding.snippet,
+                justification=carried.get(finding.key, ""),
+            )
+            for finding in sorted(
+                (f for f in findings if f.status in (STATUS_ACTIVE, STATUS_BASELINED)),
+                key=Finding.sort_key,
+            )
+        ]
+        return cls(entries)

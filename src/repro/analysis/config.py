@@ -1,0 +1,169 @@
+"""Scope and allowed-context configuration for the static analyzer.
+
+Every rule encodes a contract that only holds for part of the tree —
+wall-clock reads are fine in ``obs/`` (telemetry timestamps *are* wall
+time) but not in result paths; picklability only matters for state that
+flows through ``CheckpointStore``.  This module pins those boundaries in
+one reviewable place.
+
+Two mechanisms, deliberately distinct:
+
+* **Scopes** turn a rule on/off for whole subtrees.  Patterns are
+  consecutive path segments (``"repro/p2psim/"``), matched anywhere in
+  the analyzed file's path so relative and absolute invocations agree.
+* **Allowed contexts** exempt a single function, by file and qualified
+  name, with a mandatory written reason.  This is for code that is
+  *legitimately* outside the contract (GC bookkeeping, order-insensitive
+  reductions) — unlike a ``# repro: noqa`` suppression, it is config
+  reviewed with the analyzer, not an annotation scattered in the target
+  file, and unlike a baseline entry it does not rot when the line moves.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.analysis.core import FileContext, path_matches
+
+__all__ = ["Scope", "AllowedContext", "AnalysisConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Path-segment include/exclude filter for one rule."""
+
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def covers(self, parts: Tuple[str, ...]) -> bool:
+        if self.include and not any(path_matches(parts, pat) for pat in self.include):
+            return False
+        return not any(path_matches(parts, pat) for pat in self.exclude)
+
+
+@dataclass(frozen=True)
+class AllowedContext:
+    """One function exempted from one rule, with a written justification."""
+
+    path: str
+    qualname: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Where each rule applies and which functions are exempt."""
+
+    rule_scopes: Mapping[str, Scope] = field(default_factory=dict)
+    allowed_contexts: Mapping[str, Tuple[AllowedContext, ...]] = field(default_factory=dict)
+
+    def scope(self, rule_id: str) -> Scope:
+        return self.rule_scopes.get(rule_id, Scope())
+
+    def in_scope(self, rule_id: str, ctx: FileContext) -> bool:
+        return self.scope(rule_id).covers(ctx.parts)
+
+    def allowed_context(self, rule_id: str, ctx: FileContext, node: ast.AST) -> Optional[AllowedContext]:
+        """The exemption covering ``node``'s enclosing function, if any."""
+        contexts = self.allowed_contexts.get(rule_id, ())
+        if not contexts:
+            return None
+        qualname = ctx.qualname(node)
+        for context in contexts:
+            if not path_matches(ctx.parts, context.path):
+                continue
+            if qualname == context.qualname or qualname.startswith(context.qualname + "."):
+                return context
+        return None
+
+
+def _scopes() -> Dict[str, Scope]:
+    simulation = ("repro/",)
+    return {
+        # Global-RNG use: all simulation code plus the benchmark drivers
+        # (their recordings are committed baselines, so a stray global draw
+        # would make the perf gate non-reproducible).  obs/ is exempt — it
+        # never draws randomness, and keeping it out of scope keeps the
+        # rule's message ("inject a Generator") honest.
+        "DET001": Scope(include=simulation + ("benchmarks/",), exclude=("repro/obs/",)),
+        # Unordered iteration: sets (hash-randomized for str keys) and
+        # filesystem listings (platform-dependent order).  Dict views are
+        # deliberately NOT flagged: CPython dicts iterate in insertion
+        # order, which is deterministic whenever insertion is — the real
+        # hazard this repo has hit is sets and directory scans.
+        "DET002": Scope(include=simulation, exclude=("repro/obs/",)),
+        # Wall-clock reads in result paths.  obs/ and the telemetry
+        # timestamps are out of scope by construction; monotonic duration
+        # reads (perf_counter/monotonic) are never flagged anywhere.
+        "DET003": Scope(
+            include=(
+                "repro/p2psim/",
+                "repro/baselines/",
+                "repro/experiments/",
+                "repro/runner/",
+            )
+        ),
+        # Unpicklable attributes on simulator/run state: every package
+        # whose classes can end up inside a CheckpointStore pickle.
+        "PICKLE001": Scope(
+            include=(
+                "repro/p2psim/",
+                "repro/core/",
+                "repro/overlay/",
+                "repro/streaming/",
+                "repro/workloads/",
+                "repro/simulation/",
+                "repro/baselines/",
+            )
+        ),
+        # Telemetry guard pattern in hot loops.  The emitter's own package
+        # is exempt (it *is* the instrumentation).
+        "OBS001": Scope(include=simulation, exclude=("repro/obs/",)),
+        # Kernel-pair reachability.
+        "KERNEL001": Scope(include=simulation),
+        # Suppression hygiene and parse failures apply everywhere.
+        "NOQA001": Scope(),
+        "NOQA002": Scope(),
+        "PARSE001": Scope(),
+    }
+
+
+def _allowed() -> Dict[str, Tuple[AllowedContext, ...]]:
+    return {
+        "DET003": (
+            AllowedContext(
+                path="repro/runner/partition.py",
+                qualname="CheckpointStore.prune_stale",
+                reason=(
+                    "wall-clock GC cutoff for stale checkpoint scopes; "
+                    "bookkeeping only, never feeds a simulation result"
+                ),
+            ),
+        ),
+        "DET002": (
+            AllowedContext(
+                path="repro/runner/partition.py",
+                qualname="CheckpointStore.prune_scope",
+                reason="order-insensitive count of checkpoint files before rmtree",
+            ),
+            AllowedContext(
+                path="repro/runner/partition.py",
+                qualname="CheckpointStore.prune_stale",
+                reason=(
+                    "GC scan over scope directories; mtimes are reduced with "
+                    "max() so traversal order cannot affect behaviour"
+                ),
+            ),
+            AllowedContext(
+                path="repro/runner/cache.py",
+                qualname="ArtifactCache.__len__",
+                reason="order-insensitive count of stored artifacts",
+            ),
+        ),
+    }
+
+
+#: The repository's checked-in analyzer policy.
+DEFAULT_CONFIG = AnalysisConfig(rule_scopes=_scopes(), allowed_contexts=_allowed())

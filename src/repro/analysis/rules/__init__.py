@@ -1,0 +1,27 @@
+"""Rule modules; importing this package registers every shipped rule."""
+
+from repro.analysis.rules.determinism import (
+    GlobalRngRule,
+    UnorderedIterationRule,
+    WallClockRule,
+)
+from repro.analysis.rules.structure import (
+    KernelPairRule,
+    ParseFailureRule,
+    SuppressionHygieneRule,
+    UnguardedEmitterRule,
+    UnpicklableAttributeRule,
+    UnusedSuppressionRule,
+)
+
+__all__ = [
+    "GlobalRngRule",
+    "UnorderedIterationRule",
+    "WallClockRule",
+    "UnpicklableAttributeRule",
+    "UnguardedEmitterRule",
+    "KernelPairRule",
+    "SuppressionHygieneRule",
+    "UnusedSuppressionRule",
+    "ParseFailureRule",
+]

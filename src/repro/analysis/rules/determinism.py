@@ -1,0 +1,232 @@
+"""Determinism rules: RNG injection, ordered iteration, wall-clock reads.
+
+These encode the reproducibility contract the dynamic suite asserts by
+example (loop/vectorized bit-identity, jobs=1 vs jobs=N byte-identity,
+warm-cache equivalence): results may depend only on the config, the seed
+and the code — never on interpreter hash seeds, filesystem order, global
+RNG state or the time of day.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import FileContext, Finding, Rule, Severity, register
+
+__all__ = ["GlobalRngRule", "UnorderedIterationRule", "WallClockRule"]
+
+#: numpy.random attributes that *construct* injectable generators — the
+#: sanctioned spellings.  Everything else on numpy.random (poisson, rand,
+#: seed, shuffle, ...) touches or samples hidden global state.
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+#: stdlib ``random`` attributes that construct injectable instances.
+#: ``SystemRandom`` is deliberately NOT allowed — OS entropy is
+#: nondeterministic by design.
+_STDLIB_RANDOM_ALLOWED = {"Random"}
+
+#: Call targets that read the wall clock.  Monotonic duration sources
+#: (``time.perf_counter``, ``time.monotonic``) are never flagged: they
+#: measure spans, not timestamps, and cannot leak into result content.
+_WALLCLOCK_TARGETS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.asctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Set-producing method names: only sets (and frozensets) grow these, so a
+#: call like ``a.union(b)`` is treated as set-valued.
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+#: Filesystem listings whose order is platform-dependent.
+_FS_LIST_TARGETS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+_FS_LIST_METHODS = {"iterdir", "glob", "rglob", "scandir"}
+
+
+@register
+class GlobalRngRule(Rule):
+    """DET001 — randomness must come from an injected Generator."""
+
+    id = "DET001"
+    severity = Severity.ERROR
+    summary = (
+        "global/module-level RNG call (np.random.*, random.*) in simulation "
+        "code; draw from an injected numpy Generator (utils.rng.make_rng)"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target is None:
+                continue
+            message: Optional[str] = None
+            if target.startswith("numpy.random."):
+                attr = target.rsplit(".", 1)[1]
+                if attr not in _NP_RANDOM_ALLOWED:
+                    message = (
+                        f"call to global numpy RNG `{target}` — draw from an "
+                        "injected `np.random.Generator` instead"
+                    )
+            elif target.startswith("random."):
+                attr = target.split(".", 1)[1]
+                if "." not in attr and attr not in _STDLIB_RANDOM_ALLOWED:
+                    message = (
+                        f"call to stdlib global RNG `{target}` — use an injected "
+                        "`random.Random(seed)` or numpy Generator instead"
+                    )
+            if message is not None and config.allowed_context(self.id, ctx, node) is None:
+                yield self.finding(ctx, node, message)
+
+
+class _SetLocalCollector(ast.NodeVisitor):
+    """Names assigned a set-valued expression anywhere in the module.
+
+    Deliberately flow-insensitive: a name that ever holds a set is treated
+    as set-valued at every iteration site.  False positives are cheap to
+    silence with ``sorted(...)`` (which is also the fix) or a noqa.
+    """
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value, self.set_names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and _is_set_expr(node.value, self.set_names):
+            if isinstance(node.target, ast.Name):
+                self.set_names.add(node.target.id)
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET002 — iteration feeding results must have explicit order."""
+
+    id = "DET002"
+    severity = Severity.ERROR
+    summary = (
+        "iteration over a set or a filesystem listing without sorted(...); "
+        "set/dir order is interpreter- and platform-dependent"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        collector = _SetLocalCollector()
+        collector.visit(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                message = self._diagnose(ctx, candidate, collector.set_names)
+                if message is None:
+                    continue
+                if config.allowed_context(self.id, ctx, candidate) is not None:
+                    continue
+                yield self.finding(ctx, candidate, message)
+
+    def _diagnose(
+        self, ctx: FileContext, node: ast.expr, set_names: Set[str]
+    ) -> Optional[str]:
+        # `list(s)` / `tuple(s)` preserve the unordered traversal; unwrap.
+        unwrapped = node
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "iter", "reversed", "enumerate")
+            and node.args
+        ):
+            unwrapped = node.args[0]
+        if _is_set_expr(unwrapped, set_names):
+            return (
+                "iteration over a set has no deterministic order — wrap the "
+                "iterable in sorted(...) before it can feed results"
+            )
+        target = ctx.imports.resolve(unwrapped.func) if isinstance(unwrapped, ast.Call) else None
+        if target in _FS_LIST_TARGETS:
+            return (
+                f"`{target}` returns entries in platform-dependent order — "
+                "wrap the listing in sorted(...)"
+            )
+        if (
+            isinstance(unwrapped, ast.Call)
+            and isinstance(unwrapped.func, ast.Attribute)
+            and unwrapped.func.attr in _FS_LIST_METHODS
+            and target is None
+        ):
+            return (
+                f"`.{unwrapped.func.attr}()` yields filesystem entries in "
+                "platform-dependent order — wrap the listing in sorted(...)"
+            )
+        return None
+
+
+@register
+class WallClockRule(Rule):
+    """DET003 — result paths never read the wall clock."""
+
+    id = "DET003"
+    severity = Severity.ERROR
+    summary = (
+        "wall-clock read (time.time, datetime.now, ...) in a result path; "
+        "use monotonic spans for durations or move to obs/"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target not in _WALLCLOCK_TARGETS:
+                continue
+            if config.allowed_context(self.id, ctx, node) is not None:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"wall-clock read `{target}` in a result path — results must "
+                "depend only on config, seed and code (monotonic "
+                "`time.perf_counter` is fine for durations)",
+            )

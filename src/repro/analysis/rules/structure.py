@@ -1,0 +1,323 @@
+"""Structural rules: checkpoint safety, telemetry guards, kernel pairing.
+
+PICKLE001 keeps simulator state compatible with ``CheckpointStore``'s
+full-state pickles; OBS001 enforces the branch-on-local-bool pattern that
+keeps the telemetry-overhead CI gate honest; KERNEL001 keeps every
+loop/vectorized kernel pair reachable from its config switch so the
+bit-identity tests keep comparing two live implementations.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import FileContext, Finding, Rule, Severity, register
+
+__all__ = [
+    "UnpicklableAttributeRule",
+    "UnguardedEmitterRule",
+    "KernelPairRule",
+    "SuppressionHygieneRule",
+    "UnusedSuppressionRule",
+    "ParseFailureRule",
+]
+
+#: threading constructs that cannot be pickled.
+_THREADING_UNPICKLABLE = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+}
+
+#: Emitter event methods (see repro.obs.emitter.MetricsEmitter).
+_EMITTER_METHODS = {"counter", "gauge", "point", "mark", "timing", "span"}
+
+_KERNEL_NAME_RE = re.compile(r"^(?P<stem>.+)_(?P<variant>loop|vectorized)$")
+
+
+@register
+class UnpicklableAttributeRule(Rule):
+    """PICKLE001 — checkpointed state must stay picklable."""
+
+    id = "PICKLE001"
+    severity = Severity.ERROR
+    summary = (
+        "unpicklable attribute (lambda, open handle, lock, generator, "
+        "nested function) assigned to self in checkpoint-bearing classes"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        for class_node in ast.walk(ctx.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            for method in class_node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                nested = {
+                    child.name
+                    for child in ast.walk(method)
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and child is not method
+                }
+                for node in ast.walk(method):
+                    value: Optional[ast.expr] = None
+                    if isinstance(node, ast.Assign):
+                        value = node.value
+                        targets = node.targets
+                    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                        value = node.value
+                        targets = [node.target]
+                    else:
+                        continue
+                    if not any(_is_self_attribute(target) for target in targets):
+                        continue
+                    reason = self._diagnose(ctx, value, nested)
+                    if reason is None:
+                        continue
+                    if config.allowed_context(self.id, ctx, node) is not None:
+                        continue
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{reason} assigned to self in `{class_node.name}` — "
+                        "this state flows through CheckpointStore pickles; "
+                        "store picklable data and rebuild the object on use",
+                    )
+
+    def _diagnose(
+        self, ctx: FileContext, value: ast.expr, nested: Set[str]
+    ) -> Optional[str]:
+        if isinstance(value, ast.Lambda):
+            return "lambda"
+        if isinstance(value, ast.GeneratorExp):
+            return "generator expression"
+        if isinstance(value, ast.Name) and value.id in nested:
+            return f"nested function `{value.id}` (closure)"
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                return "open file handle"
+            target = ctx.imports.resolve(func)
+            if target is not None and target.startswith("threading."):
+                attr = target.split(".", 1)[1]
+                if attr in _THREADING_UNPICKLABLE:
+                    return f"`threading.{attr}()`"
+        return None
+
+
+def _is_self_attribute(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+@register
+class UnguardedEmitterRule(Rule):
+    """OBS001 — hot-loop telemetry must branch on a local enabled bool."""
+
+    id = "OBS001"
+    severity = Severity.WARNING
+    summary = (
+        "emitter call inside a per-round/per-tick loop without an "
+        "`if <enabled-bool>:` guard (branch-on-local-bool pattern)"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_emitter_call(ctx, node):
+                continue
+            loop = self._enclosing_loop(ctx, node)
+            if loop is None:
+                continue
+            if self._is_guarded(ctx, node, loop):
+                continue
+            if config.allowed_context(self.id, ctx, node) is not None:
+                continue
+            method = node.func.attr if isinstance(node.func, ast.Attribute) else "?"
+            yield self.finding(
+                ctx,
+                node,
+                f"`emitter.{method}(...)` runs on every loop iteration even "
+                "when telemetry is disabled — hoist `enabled = "
+                "emitter.enabled` out of the loop and guard the call with "
+                "`if enabled:` (the pattern the telemetry-overhead gate "
+                "assumes)",
+            )
+
+    def _is_emitter_call(self, ctx: FileContext, node: ast.Call) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _EMITTER_METHODS:
+            return False
+        base = func.value
+        if isinstance(base, ast.Name) and "emitter" in base.id.lower():
+            return True
+        if isinstance(base, ast.Call):
+            if isinstance(base.func, ast.Name) and base.func.id == "get_emitter":
+                return True
+            target = ctx.imports.resolve(base.func)
+            if target is not None and target.endswith(".get_emitter"):
+                return True
+        return False
+
+    def _enclosing_loop(self, ctx: FileContext, node: ast.Call) -> Optional[ast.AST]:
+        """Nearest For/While above ``node`` within the same function."""
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+                return ancestor
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return None
+        return None
+
+    def _is_guarded(self, ctx: FileContext, node: ast.Call, loop: ast.AST) -> bool:
+        current: ast.AST = node
+        while current is not loop:
+            parent = ctx.parent(current)
+            if parent is None:
+                return False
+            if (
+                isinstance(parent, ast.If)
+                and _is_enabled_guard(parent.test)
+                and any(current is stmt for stmt in parent.body)
+            ):
+                return True
+            current = parent
+        return False
+
+
+def _is_enabled_guard(test: ast.expr) -> bool:
+    """A plain local bool, an ``.enabled`` read, or an `and` of those."""
+    if isinstance(test, ast.Name):
+        return True
+    if isinstance(test, ast.Attribute) and test.attr == "enabled":
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_is_enabled_guard(value) for value in test.values)
+    return False
+
+
+@register
+class KernelPairRule(Rule):
+    """KERNEL001 — loop/vectorized kernel pairs stay dispatchable."""
+
+    id = "KERNEL001"
+    severity = Severity.ERROR
+    summary = (
+        "a *_loop/*_vectorized kernel pair where one variant is never "
+        "referenced, or whose module lacks a `.kernel` config switch"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        defs: Dict[str, List[ast.AST]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs.setdefault(node.name, []).append(node)
+        pairs: Dict[str, Dict[str, List[ast.AST]]] = {}
+        for name in sorted(defs):
+            match = _KERNEL_NAME_RE.match(name)
+            if match is not None:
+                pairs.setdefault(match.group("stem"), {})[match.group("variant")] = defs[name]
+        complete = {
+            stem: variants
+            for stem, variants in sorted(pairs.items())
+            if {"loop", "vectorized"} <= set(variants)
+        }
+        if not complete:
+            return
+        references = self._reference_names(ctx, defs)
+        kernel_switch = any(
+            isinstance(node, ast.Attribute)
+            and node.attr == "kernel"
+            and isinstance(node.ctx, ast.Load)
+            for node in ast.walk(ctx.tree)
+        )
+        for stem, variants in sorted(complete.items()):
+            for variant in ("loop", "vectorized"):
+                name = f"{stem}_{variant}"
+                if name not in references:
+                    yield self.finding(
+                        ctx,
+                        variants[variant][0],
+                        f"kernel variant `{name}` is defined but never "
+                        "dispatched — both members of a loop/vectorized pair "
+                        "must stay reachable from the `kernel` config switch "
+                        "so the bit-identity tests compare live code",
+                    )
+            if not kernel_switch:
+                yield self.finding(
+                    ctx,
+                    variants["loop"][0],
+                    f"kernel pair `{stem}_loop`/`{stem}_vectorized` has no "
+                    "`.kernel` config switch in this module — the selection "
+                    "must come from the run config, not an edit",
+                )
+
+    def _reference_names(
+        self, ctx: FileContext, defs: Dict[str, List[ast.AST]]
+    ) -> Set[str]:
+        """Function names referenced outside their own definitions."""
+        names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            name: Optional[str] = None
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                name = node.attr
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                name = node.id
+            if name is None or name not in defs:
+                continue
+            names.add(name)
+        return names
+
+
+# The three rules below are emitted by the walker (suppression parsing and
+# file loading), not by AST visitation; they are registered so they appear
+# in --list-rules, carry documented severities, and can be baselined.
+
+
+@register
+class SuppressionHygieneRule(Rule):
+    """NOQA001 — suppressions must name rules and give a reason."""
+
+    id = "NOQA001"
+    severity = Severity.WARNING
+    summary = (
+        "malformed `# repro: noqa` — must be "
+        "`# repro: noqa RULE123[, RULE456] -- reason`"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        return iter(())
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    """NOQA002 — suppressions that no longer match anything must go."""
+
+    id = "NOQA002"
+    severity = Severity.WARNING
+    summary = "`# repro: noqa` suppression that matched no finding on its line"
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        return iter(())
+
+
+@register
+class ParseFailureRule(Rule):
+    """PARSE001 — files the analyzer cannot parse gate the build."""
+
+    id = "PARSE001"
+    severity = Severity.ERROR
+    summary = "source file failed to parse; the analyzer cannot vouch for it"
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        return iter(())

@@ -48,6 +48,15 @@ from ``/runs/<id>/result``, and read the committed benchmark history from
 ``sweep``, so daemon-run sweeps are byte-identical to CLI-run ones::
 
     python -m repro.cli serve --port 8765 --cache-dir .repro-cache
+
+``analyze`` runs the determinism/checkpoint-safety static analyzer
+(:mod:`repro.analysis`) over the given paths and exits non-zero on any
+finding that is neither suppressed inline (``# repro: noqa RULE -- why``)
+nor grandfathered in the committed baseline — the blocking CI gate::
+
+    python -m repro.cli analyze src tests benchmarks --json report.json
+    python -m repro.cli analyze --list-rules
+    python -m repro.cli analyze src --write-baseline
 """
 
 from __future__ import annotations
@@ -190,6 +199,59 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory scanned for BENCH_*.json by /bench (default: repo root)",
     )
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="run the determinism/checkpoint-safety static analyzer",
+    )
+    analyze_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    analyze_parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable report (CI uploads this as an artifact)",
+    )
+    analyze_parser.add_argument(
+        "--baseline",
+        default=".repro-analysis-baseline.json",
+        metavar="PATH",
+        help="baseline of grandfathered findings (default: %(default)s)",
+    )
+    analyze_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file (report every finding as gating)",
+    )
+    analyze_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "regenerate the baseline from the current findings (justifications "
+            "of surviving entries are preserved) and exit 0"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="run only the named rules (default: all registered rules)",
+    )
+    analyze_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule with its contract and exit",
+    )
+    analyze_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings",
+    )
     return parser
 
 
@@ -306,6 +368,46 @@ def _command_sweep(args: argparse.Namespace) -> int:
         return _print_error(error)
 
 
+def _command_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        Baseline,
+        analyze_paths,
+        all_rules,
+        render_human,
+        select_rules,
+        write_json,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:<10} {rule.severity.value:<8} {rule.summary}")
+        return 0
+    try:
+        rules = select_rules(args.rules.split(",")) if args.rules else None
+    except KeyError as error:
+        return _print_error(error)
+    try:
+        baseline = Baseline.load(args.baseline) if not args.no_baseline else None
+        report = analyze_paths(args.paths, rules=rules, baseline=baseline)
+    except (FileNotFoundError, ValueError) as error:
+        return _print_error(error)
+    if args.write_baseline:
+        regenerated = Baseline.from_findings(report.findings, previous=baseline)
+        regenerated.save(args.baseline)
+        print(
+            f"wrote {args.baseline}: {len(regenerated)} grandfathered finding(s) "
+            "(fill in each entry's justification)"
+        )
+        if args.json_path:
+            write_json(report, args.json_path)
+        return 0
+    print(render_human(report, verbose=args.verbose))
+    if args.json_path:
+        write_json(report, args.json_path)
+        print(f"wrote {args.json_path}")
+    return 1 if report.active else 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.obs.server import serve
 
@@ -330,6 +432,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "analyze":
+        return _command_analyze(args)
     return _command_run(args)
 
 

@@ -54,16 +54,19 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 from repro.obs.bench import load_bench_history
 from repro.obs.emitter import MetricsEmitter, use_emitter
 from repro.obs.sinks import MemorySink
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runner.grid import SweepSpec
+
 __all__ = ["SweepJob", "SweepService", "ReproServer", "spec_from_request", "serve"]
 
 
-def spec_from_request(payload: Mapping[str, object]):
+def spec_from_request(payload: Mapping[str, object]) -> "SweepSpec":
     """Build a validated :class:`~repro.runner.grid.SweepSpec` from a job request.
 
     ``params`` maps axis names to value lists (scalars are wrapped), the

@@ -1,0 +1,225 @@
+"""End-to-end tests for ``repro analyze``: exit codes, JSON report,
+baseline round-trips, and the self-check that the repository itself is
+clean modulo the committed baseline."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_paths
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+VIOLATING = """
+import time
+
+def stamp():
+    return time.time()
+"""
+
+CLEAN = """
+import time
+
+def measure():
+    started = time.perf_counter()
+    return time.perf_counter() - started
+"""
+
+
+def _write_fixture(root, source, name="fixture.py"):
+    target = root / "src" / "repro" / "runner" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return target
+
+
+class TestAnalyzeCommand:
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        target = _write_fixture(tmp_path, VIOLATING)
+        code = main(["analyze", str(target), "--baseline", str(tmp_path / "base.json")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DET003" in out
+        assert "1 finding(s)" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = _write_fixture(tmp_path, CLEAN)
+        code = main(["analyze", str(target), "--baseline", str(tmp_path / "base.json")])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "nope"), "--baseline", str(tmp_path / "b.json")])
+        assert code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        target = _write_fixture(tmp_path, CLEAN)
+        code = main(["analyze", str(target), "--rules", "DET999"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_rules_filter(self, tmp_path, capsys):
+        target = _write_fixture(tmp_path, VIOLATING)
+        base = str(tmp_path / "base.json")
+        assert main(["analyze", str(target), "--rules", "DET001", "--baseline", base]) == 0
+        assert main(["analyze", str(target), "--rules", "DET003", "--baseline", base]) == 1
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "PICKLE001", "OBS001", "KERNEL001"):
+            assert rule_id in out
+
+    def test_json_report_structure(self, tmp_path, capsys):
+        target = _write_fixture(tmp_path, VIOLATING)
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "analyze",
+                str(target),
+                "--baseline",
+                str(tmp_path / "base.json"),
+                "--json",
+                str(report_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 1
+        payload = json.loads(report_path.read_text())
+        assert payload["version"] == 1
+        assert payload["files_analyzed"] == 1
+        assert payload["summary"]["active"] == 1
+        assert payload["summary"]["per_rule"] == {"DET003": 1}
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "DET003"
+        assert finding["status"] == "active"
+        assert finding["content_hash"]
+        assert finding["snippet"] == "return time.time()"
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_gate(self, tmp_path, capsys):
+        target = _write_fixture(tmp_path, VIOLATING)
+        base = tmp_path / "base.json"
+        assert main(["analyze", str(target), "--baseline", str(base), "--write-baseline"]) == 0
+        capsys.readouterr()
+        # The grandfathered finding no longer gates...
+        assert main(["analyze", str(target), "--baseline", str(base)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ...but a *new* finding still does.
+        _write_fixture(tmp_path, VIOLATING, name="fresh.py")
+        assert main(["analyze", str(target.parent), "--baseline", str(base)]) == 1
+        capsys.readouterr()
+
+    def test_baseline_survives_line_drift_but_not_content_change(self, tmp_path, capsys):
+        target = _write_fixture(tmp_path, VIOLATING)
+        base = tmp_path / "base.json"
+        main(["analyze", str(target), "--baseline", str(base), "--write-baseline"])
+        # Unrelated lines above shift the finding's line number: still clean.
+        target.write_text(
+            "# a new comment\n# another\n" + textwrap.dedent(VIOLATING), encoding="utf-8"
+        )
+        assert main(["analyze", str(target), "--baseline", str(base)]) == 0
+        # Changing the flagged line itself re-surfaces the finding.
+        target.write_text(
+            textwrap.dedent(VIOLATING).replace("time.time()", "time.time() + 1"),
+            encoding="utf-8",
+        )
+        assert main(["analyze", str(target), "--baseline", str(base)]) == 1
+        capsys.readouterr()
+
+    def test_regeneration_preserves_justifications(self, tmp_path, capsys):
+        target = _write_fixture(tmp_path, VIOLATING)
+        base = tmp_path / "base.json"
+        main(["analyze", str(target), "--baseline", str(base), "--write-baseline"])
+        payload = json.loads(base.read_text())
+        payload["entries"][0]["justification"] = "legacy timestamp, tracked in #42"
+        base.write_text(json.dumps(payload))
+        main(["analyze", str(target), "--baseline", str(base), "--write-baseline"])
+        regenerated = json.loads(base.read_text())
+        assert regenerated["entries"][0]["justification"] == "legacy timestamp, tracked in #42"
+        capsys.readouterr()
+
+    def test_no_baseline_flag_ignores_entries(self, tmp_path, capsys):
+        target = _write_fixture(tmp_path, VIOLATING)
+        base = tmp_path / "base.json"
+        main(["analyze", str(target), "--baseline", str(base), "--write-baseline"])
+        assert main(["analyze", str(target), "--baseline", str(base), "--no-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_unsupported_version_is_a_clean_error(self, tmp_path, capsys):
+        target = _write_fixture(tmp_path, CLEAN)
+        base = tmp_path / "base.json"
+        base.write_text('{"version": 99, "entries": []}')
+        code = main(["analyze", str(target), "--baseline", str(base)])
+        assert code == 2
+        assert "baseline format version" in capsys.readouterr().err
+
+
+class TestSuppressionRoundTrip:
+    def test_suppression_lifecycle(self, tmp_path, capsys):
+        base = str(tmp_path / "base.json")
+        # 1. violation gates
+        target = _write_fixture(tmp_path, VIOLATING)
+        assert main(["analyze", str(target), "--baseline", base]) == 1
+        # 2. justified suppression waves it through
+        target.write_text(
+            textwrap.dedent(VIOLATING).replace(
+                "return time.time()",
+                "return time.time()  # repro: noqa DET003 -- demo fixture",
+            ),
+            encoding="utf-8",
+        )
+        assert main(["analyze", str(target), "--baseline", base]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+        # 3. fixing the code makes the suppression stale: gates again
+        target.write_text(
+            textwrap.dedent(CLEAN).replace(
+                "return time.perf_counter() - started",
+                "return time.perf_counter() - started  # repro: noqa DET003 -- demo fixture",
+            ),
+            encoding="utf-8",
+        )
+        code = main(["analyze", str(target), "--baseline", base])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOQA002" in out
+
+
+class TestSelfCheck:
+    def test_repository_is_clean_modulo_committed_baseline(self, monkeypatch, capsys):
+        """`repro analyze src/ tests/ benchmarks/` — the CI gate — passes."""
+        monkeypatch.chdir(REPO_ROOT)
+        code = main(["analyze", "src", "tests", "benchmarks"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+
+    def test_committed_baseline_entries_all_carry_justifications(self):
+        baseline = Baseline.load(REPO_ROOT / ".repro-analysis-baseline.json")
+        for entry in baseline.entries:
+            assert entry.justification, (
+                f"baseline entry {entry.rule} at {entry.path} has no written "
+                "justification — grandfathered findings must say why"
+            )
+
+    def test_allowed_contexts_are_load_bearing(self, monkeypatch):
+        """Every configured exemption still covers a real finding.
+
+        If a refactor removes the flagged code, the allowed context must be
+        retired too — this is NOQA002 for config-level exemptions.
+        """
+        from repro.analysis import DEFAULT_CONFIG, AnalysisConfig
+
+        monkeypatch.chdir(REPO_ROOT)
+        bare = AnalysisConfig(rule_scopes=DEFAULT_CONFIG.rule_scopes, allowed_contexts={})
+        report = analyze_paths(["src"], config=bare)
+        uncovered = {(f.rule, f.path) for f in report.active}
+        for rule_id, contexts in DEFAULT_CONFIG.allowed_contexts.items():
+            for context in contexts:
+                assert any(
+                    rule == rule_id and path.endswith(context.path.split("/")[-1])
+                    for rule, path in uncovered
+                ), f"allowed context {rule_id}:{context.qualname} exempts nothing"
