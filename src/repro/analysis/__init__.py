@@ -11,10 +11,21 @@ DET003     no wall-clock reads in result paths (monotonic spans are fine)
 PICKLE001  checkpointed state must stay picklable (no lambdas/handles/locks)
 OBS001     hot-loop telemetry guarded by the branch-on-local-bool pattern
 KERNEL001  loop/vectorized kernel pairs reachable from the config switch
+SEED001    generator seeds descend from derive_seed or an injected value
+SEED002    generators never escape into globals/class attrs/defaults
+THREAD001  thread-shared mutable containers locked on every access path
+THREAD002  ContextVar emitters resolved in-thread, not captured pre-start
+SWEEP001   SWEEP_PARAMS axes match run_point signatures both ways
+SWEEP002   scenario bundles sweep only axes their experiment declares
 NOQA001    suppressions must name rules and carry a ``-- reason``
 NOQA002    stale suppressions must be removed
 PARSE001   unparsable files gate the build
 =========  ==============================================================
+
+The SEED/THREAD/SWEEP families are *project rules*: they run against a
+whole-program model (symbol tables, import graph, call graph, flow
+closures) built in a first pass and cached incrementally by content hash
+— see :mod:`repro.analysis.project` and :mod:`repro.analysis.flow`.
 
 Line-level escapes use ``# repro: noqa RULE123 -- reason``; repo-level
 grandfathering lives in the committed ``.repro-analysis-baseline.json``
@@ -28,11 +39,13 @@ from repro.analysis.config import DEFAULT_CONFIG, AllowedContext, AnalysisConfig
 from repro.analysis.core import (
     FileContext,
     Finding,
+    ProjectRule,
     Rule,
     Severity,
     all_rules,
     select_rules,
 )
+from repro.analysis.project import ModuleSummary, ProjectCache, ProjectModel
 from repro.analysis.report import render_human, render_json, write_json
 from repro.analysis.walker import Report, analyze_file, analyze_paths, iter_python_files
 
@@ -49,9 +62,13 @@ __all__ = [
     "FileContext",
     "Finding",
     "Rule",
+    "ProjectRule",
     "Severity",
     "all_rules",
     "select_rules",
+    "ModuleSummary",
+    "ProjectCache",
+    "ProjectModel",
     "Report",
     "analyze_file",
     "analyze_paths",

@@ -67,16 +67,33 @@ class AnalysisConfig:
 
     def allowed_context(self, rule_id: str, ctx: FileContext, node: ast.AST) -> Optional[AllowedContext]:
         """The exemption covering ``node``'s enclosing function, if any."""
+        return self.allowed_context_at(rule_id, ctx.parts, ctx.qualname(node))
+
+    # Project rules work from module summaries, not live ASTs, so they
+    # carry (path parts, qualname) instead of (ctx, node).
+
+    def covers_path(self, rule_id: str, path: str) -> bool:
+        """Scope check for a display path (project-rule variant)."""
+        parts = tuple(segment for segment in path.replace("\\", "/").split("/") if segment)
+        return self.scope(rule_id).covers(parts)
+
+    def allowed_context_at(
+        self, rule_id: str, parts: Tuple[str, ...], qualname: str
+    ) -> Optional[AllowedContext]:
+        """The exemption covering a (path, qualname) pair, if any."""
         contexts = self.allowed_contexts.get(rule_id, ())
-        if not contexts:
-            return None
-        qualname = ctx.qualname(node)
         for context in contexts:
-            if not path_matches(ctx.parts, context.path):
+            if not path_matches(parts, context.path):
                 continue
             if qualname == context.qualname or qualname.startswith(context.qualname + "."):
                 return context
         return None
+
+    def allowed_context_for_path(
+        self, rule_id: str, path: str, qualname: str
+    ) -> Optional[AllowedContext]:
+        parts = tuple(segment for segment in path.replace("\\", "/").split("/") if segment)
+        return self.allowed_context_at(rule_id, parts, qualname)
 
 
 def _scopes() -> Dict[str, Scope]:
@@ -87,7 +104,9 @@ def _scopes() -> Dict[str, Scope]:
         # would make the perf gate non-reproducible).  obs/ is exempt — it
         # never draws randomness, and keeping it out of scope keeps the
         # rule's message ("inject a Generator") honest.
-        "DET001": Scope(include=simulation + ("benchmarks/",), exclude=("repro/obs/",)),
+        "DET001": Scope(
+            include=simulation + ("benchmarks/", "examples/"), exclude=("repro/obs/",)
+        ),
         # Unordered iteration: sets (hash-randomized for str keys) and
         # filesystem listings (platform-dependent order).  Dict views are
         # deliberately NOT flagged: CPython dicts iterate in insertion
@@ -123,6 +142,28 @@ def _scopes() -> Dict[str, Scope]:
         "OBS001": Scope(include=simulation, exclude=("repro/obs/",)),
         # Kernel-pair reachability.
         "KERNEL001": Scope(include=simulation),
+        # Seed provenance (project-wide taint): every generator built in
+        # simulation code must take a seed descending from `derive_seed`
+        # or an injected parameter/config field.  The sanctioned factory
+        # itself is excluded (it *is* the provenance root), as are the
+        # analyzer and telemetry (neither draws randomness for results).
+        "SEED001": Scope(
+            include=simulation,
+            exclude=("repro/utils/rng.py", "repro/analysis/", "repro/obs/"),
+        ),
+        # RNG escape: generators bound to module globals, class attributes
+        # or default-argument values outlive a run and break replayability.
+        "SEED002": Scope(
+            include=simulation,
+            exclude=("repro/utils/rng.py", "repro/analysis/", "repro/obs/"),
+        ),
+        # Thread-shared mutable state (project-wide): only meaningful in
+        # modules that spawn threads; the analyzer itself is excluded.
+        "THREAD001": Scope(include=simulation, exclude=("repro/analysis/",)),
+        "THREAD002": Scope(include=simulation, exclude=("repro/analysis/",)),
+        # Sweep registry/scenario contract drift.
+        "SWEEP001": Scope(include=simulation, exclude=("repro/analysis/",)),
+        "SWEEP002": Scope(include=simulation, exclude=("repro/analysis/",)),
         # Suppression hygiene and parse failures apply everywhere.
         "NOQA001": Scope(),
         "NOQA002": Scope(),
@@ -160,6 +201,27 @@ def _allowed() -> Dict[str, Tuple[AllowedContext, ...]]:
                 path="repro/runner/cache.py",
                 qualname="ArtifactCache.__len__",
                 reason="order-insensitive count of stored artifacts",
+            ),
+        ),
+        "SEED001": (
+            AllowedContext(
+                path="repro/streaming/scheduler.py",
+                qualname="ChunkScheduler.__init__",
+                reason=(
+                    "interactive-use fallback when no generator is injected; "
+                    "every simulation path constructs schedulers with an rng "
+                    "derived via make_rng, so the unseeded default never "
+                    "feeds a recorded result"
+                ),
+            ),
+            AllowedContext(
+                path="repro/queueing/closed.py",
+                qualname="ClosedJacksonNetwork.sample_occupancy",
+                reason=(
+                    "optional-rng convenience default for exploratory "
+                    "sampling; fig9/fig10 experiment paths always pass a "
+                    "make_rng-derived generator"
+                ),
             ),
         ),
     }

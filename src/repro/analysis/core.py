@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tupl
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.analysis.config import AnalysisConfig
+    from repro.analysis.project import ProjectModel
 
 __all__ = [
     "Severity",
@@ -32,6 +33,7 @@ __all__ = [
     "FileContext",
     "ImportMap",
     "Rule",
+    "ProjectRule",
     "register",
     "all_rules",
     "select_rules",
@@ -239,6 +241,38 @@ class Rule:
             col=col,
             message=message,
             snippet=ctx.snippet(line),
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for pass-2 rules that run against the whole-program model.
+
+    Project rules see every module at once (import graph, call graph,
+    flow closures) instead of one AST.  Their per-file :meth:`check` is a
+    no-op; the walker invokes :meth:`check_project` after the model is
+    built, then routes the findings through the same scope, allowed-
+    context, suppression and baseline machinery as per-file findings.
+    """
+
+    def check(self, ctx: FileContext, config: "AnalysisConfig") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, model: "ProjectModel", config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self, path: str, line: int, col: int, snippet: str, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=snippet,
         )
 
 

@@ -1,0 +1,112 @@
+"""Cross-module provenance fixpoints over the project model.
+
+The SEED rules need one question answered transitively: *does this call
+eventually produce a sanctioned seed or generator?*  A site like
+``make_rng(child_seed(base, "fig7"), ...)`` is fine even though neither
+name is ``derive_seed`` — ``child_seed`` returns a ``derive_seed`` call
+three modules away.  These helpers compute the closure once per run:
+
+* :func:`seed_returning_functions` — canonical ids of functions whose
+  return value descends from :data:`~repro.analysis.project.DERIVE_SEED`
+  (or from an injected parameter, which is provenance the caller owns);
+* :func:`rng_returning_functions` — canonical ids of functions whose
+  return value is a generator built by a sanctioned constructor.
+
+Both are least fixpoints over recorded return tags, resolved through the
+model's alias/re-export machinery, so adding a forwarding wrapper in any
+module keeps call sites everywhere else clean without new config.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.analysis.project import (
+    DERIVE_SEED,
+    RNG_CONSTRUCTOR_TARGETS,
+    ProjectModel,
+)
+
+__all__ = [
+    "canonical_rng_constructors",
+    "seed_returning_functions",
+    "rng_returning_functions",
+    "resolve_call_tag",
+]
+
+
+def _both_spellings(target: str) -> Set[str]:
+    """A sanctioned id in canonical *and* external-dotted form.
+
+    When the defining module is part of the model, references resolve to
+    ``repro.utils.rng:make_rng``; when only part of the tree is analyzed
+    (``repro analyze examples``) the same reference stays the plain
+    dotted ``repro.utils.rng.make_rng``.  Both must count.
+    """
+    return {target, target.replace(":", ".")}
+
+
+def canonical_rng_constructors(model: ProjectModel) -> Set[str]:
+    """The sanctioned constructor set, canonicalized against ``model``."""
+    canonical: Set[str] = set()
+    for target in RNG_CONSTRUCTOR_TARGETS:
+        canonical.update(_both_spellings(target))
+        resolved = model.resolve(target.replace(":", "."), module="")
+        if resolved is not None:
+            canonical.add(resolved)
+    return canonical
+
+
+def resolve_call_tag(model: ProjectModel, tag: str, module: str) -> Optional[str]:
+    """Canonical target of a ``call:<raw>`` provenance tag, or ``None``."""
+    if not tag.startswith("call:"):
+        return None
+    return model.resolve(tag[len("call:") :], module)
+
+
+def _return_closure(model: ProjectModel, base: Set[str], accept_param: bool) -> Set[str]:
+    """Least fixpoint: functions whose some return reaches ``base``.
+
+    ``accept_param`` additionally admits functions that return one of
+    their own parameters — provenance then belongs to the caller, which
+    is what the taint check at the call site already validates.
+    """
+    members: Set[str] = set(base)
+    # Pre-resolve every function's return-call targets once.
+    resolved: Dict[str, Tuple[Tuple[str, ...], bool]] = {}
+    for summary in model.summaries.values():
+        for qual, facts in summary.functions.items():
+            canonical = f"{summary.module}:{qual}"
+            targets = tuple(
+                t
+                for t in (
+                    resolve_call_tag(model, tag, summary.module)
+                    for tag in facts.return_tags
+                    if tag.startswith("call:")
+                )
+                if t is not None
+            )
+            returns_param = accept_param and "param" in facts.return_tags
+            resolved[canonical] = (targets, returns_param)
+    changed = True
+    while changed:
+        changed = False
+        for canonical, (targets, returns_param) in resolved.items():
+            if canonical in members:
+                continue
+            if returns_param or any(target in members for target in targets):
+                members.add(canonical)
+                changed = True
+    return members
+
+
+def seed_returning_functions(model: ProjectModel) -> Set[str]:
+    """Canonical ids whose return value carries sanctioned seed provenance."""
+    return _return_closure(model, base=_both_spellings(DERIVE_SEED), accept_param=True)
+
+
+def rng_returning_functions(model: ProjectModel) -> Set[str]:
+    """Canonical ids whose return value is a sanctioned generator."""
+    return _return_closure(
+        model, base=canonical_rng_constructors(model), accept_param=False
+    )

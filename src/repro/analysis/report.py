@@ -48,6 +48,15 @@ def render_human(report: Report, verbose: bool = False) -> str:
         + f", {len(report.baselined)} baselined, {len(report.suppressed)} suppressed"
     )
     lines.append(summary)
+    if report.modules_total:
+        model_line = (
+            f"project model: {report.modules_total} modules, "
+            f"{report.modules_reparsed} re-parsed, "
+            f"{report.modules_cached} from cache"
+        )
+        if report.changed_only:
+            model_line += f"; --changed selected {report.files_selected} file(s)"
+        lines.append(model_line)
     return "\n".join(lines)
 
 
@@ -77,6 +86,13 @@ def render_json(report: Report) -> Dict[str, object]:
             "baselined": len(report.baselined),
             "suppressed": len(report.suppressed),
             "per_rule": report.per_rule_counts(),
+        },
+        "project_model": {
+            "modules_total": report.modules_total,
+            "modules_reparsed": report.modules_reparsed,
+            "modules_cached": report.modules_cached,
+            "changed_only": report.changed_only,
+            "files_selected": report.files_selected,
         },
     }
 

@@ -1,10 +1,12 @@
 """Rule modules; importing this package registers every shipped rule."""
 
+from repro.analysis.rules.contracts import RegistrySignatureRule, ScenarioAxesRule
 from repro.analysis.rules.determinism import (
     GlobalRngRule,
     UnorderedIterationRule,
     WallClockRule,
 )
+from repro.analysis.rules.seeds import RngEscapeRule, SeedProvenanceRule
 from repro.analysis.rules.structure import (
     KernelPairRule,
     ParseFailureRule,
@@ -13,6 +15,7 @@ from repro.analysis.rules.structure import (
     UnpicklableAttributeRule,
     UnusedSuppressionRule,
 )
+from repro.analysis.rules.threads import EmitterCaptureRule, UnlockedSharedStateRule
 
 __all__ = [
     "GlobalRngRule",
@@ -24,4 +27,10 @@ __all__ = [
     "SuppressionHygieneRule",
     "UnusedSuppressionRule",
     "ParseFailureRule",
+    "SeedProvenanceRule",
+    "RngEscapeRule",
+    "UnlockedSharedStateRule",
+    "EmitterCaptureRule",
+    "RegistrySignatureRule",
+    "ScenarioAxesRule",
 ]

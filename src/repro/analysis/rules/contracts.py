@@ -1,0 +1,174 @@
+"""SWEEP001/SWEEP002 — registry/scenario contract drift as lint errors.
+
+``repro.experiments.registry.SWEEPS`` promises that each experiment's
+``SWEEP_PARAMS`` axes are exactly the keyword knobs its ``run_point``
+accepts, and every scenario bundle in ``repro.runner.grid.SCENARIOS``
+builds grids over those axes.  Both contracts are enforced only at sweep
+time today — a renamed axis surfaces as a ``TypeError`` halfway through
+a long sweep.  These rules check them statically against the project
+model's recorded signatures and registry literals.
+
+SWEEP001
+    Declared ``SWEEP_PARAMS`` axes vs the resolved ``run_point``
+    signature, both directions: an axis the runner does not accept is an
+    immediate sweep crash; an accepted knob that is not declared is a
+    parameter sweeps can never reach.
+
+SWEEP002
+    ``SweepSpec(...)`` constructions with a constant experiment id:
+    every statically visible grid axis must be declared for that
+    experiment, and the experiment id itself must be registered.
+
+Axes every runner takes implicitly (``seed``, ``scale``) are exempt in
+both directions.  Entries whose runner or params reference cannot be
+resolved in the model are skipped, not guessed at.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ProjectRule, Severity, register
+from repro.analysis.project import ModuleSummary, ProjectModel, SpecFact
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.config import AnalysisConfig
+
+__all__ = ["RegistrySignatureRule", "ScenarioAxesRule"]
+
+#: Knobs the sweep machinery injects itself; never part of the contract.
+_IMPLICIT = {"seed", "scale"}
+
+
+def _declared_axes(model: ProjectModel) -> Dict[str, Set[str]]:
+    """experiment id -> declared SWEEP_PARAMS axes, from registry literals."""
+    declared: Dict[str, Set[str]] = {}
+    for summary in model.summaries.values():
+        for entry in summary.registry_entries:
+            params_ref = model.resolve(entry.params, summary.module)
+            axes: Optional[Tuple[str, ...]] = (
+                model.string_tuple(params_ref) if params_ref is not None else None
+            )
+            if axes is not None:
+                declared[entry.experiment_id] = set(axes)
+    return declared
+
+
+@register
+class RegistrySignatureRule(ProjectRule):
+    id = "SWEEP001"
+    severity = Severity.ERROR
+    summary = (
+        "SWEEP_PARAMS axes must match the run_point keyword signature "
+        "in both directions"
+    )
+
+    def check_project(
+        self, model: ProjectModel, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        for summary in model.summaries.values():
+            if not config.covers_path(self.id, summary.path):
+                continue
+            for entry in summary.registry_entries:
+                runner_ref = model.resolve(entry.runner, summary.module)
+                params_ref = model.resolve(entry.params, summary.module)
+                runner = model.function(runner_ref) if runner_ref is not None else None
+                axes = model.string_tuple(params_ref) if params_ref is not None else None
+                if runner is None or axes is None:
+                    continue  # unresolvable reference: no static claim to make
+                if config.allowed_context_for_path(self.id, summary.path, "SWEEPS"):
+                    continue
+                accepted = set(runner.params) - _IMPLICIT
+                declared = set(axes) - _IMPLICIT
+                missing = sorted(declared - accepted)
+                if missing and not runner.has_varkw:
+                    yield self.project_finding(
+                        path=summary.path,
+                        line=entry.line,
+                        col=entry.col,
+                        snippet=entry.snippet,
+                        message=(
+                            f"sweep `{entry.experiment_id}` declares ax"
+                            f"{'es' if len(missing) > 1 else 'is'} "
+                            f"{', '.join(missing)} that `{runner_ref}` does not "
+                            "accept — sweeping it raises TypeError at run time"
+                        ),
+                    )
+                extra = sorted(accepted - declared)
+                if extra:
+                    yield self.project_finding(
+                        path=summary.path,
+                        line=entry.line,
+                        col=entry.col,
+                        snippet=entry.snippet,
+                        message=(
+                            f"`{runner_ref}` accepts parameter"
+                            f"{'s' if len(extra) > 1 else ''} {', '.join(extra)} "
+                            f"not declared in SWEEP_PARAMS for "
+                            f"`{entry.experiment_id}` — sweeps can never reach "
+                            "them; declare the axis or drop the knob"
+                        ),
+                    )
+
+
+@register
+class ScenarioAxesRule(ProjectRule):
+    id = "SWEEP002"
+    severity = Severity.ERROR
+    summary = (
+        "scenario bundles must build grids over axes the target "
+        "experiment declares"
+    )
+
+    def _fact_axes(
+        self, model: ProjectModel, summary: ModuleSummary, fact: SpecFact
+    ) -> Set[str]:
+        axes = set(fact.axes)
+        for helper in fact.helpers:
+            helper_ref = model.resolve(helper, summary.module)
+            helper_fn = model.function(helper_ref) if helper_ref is not None else None
+            if helper_fn is not None:
+                axes.update(helper_fn.axis_keys)
+        return axes
+
+    def check_project(
+        self, model: ProjectModel, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        declared = _declared_axes(model)
+        if not declared:
+            return  # no registry in the model (partial analysis): no claims
+        for summary in model.summaries.values():
+            if not config.covers_path(self.id, summary.path):
+                continue
+            for fact in summary.spec_facts:
+                if fact.experiment_id is None or not fact.resolvable:
+                    continue
+                if config.allowed_context_for_path(self.id, summary.path, fact.qualname):
+                    continue
+                if fact.experiment_id not in declared:
+                    yield self.project_finding(
+                        path=summary.path,
+                        line=fact.line,
+                        col=fact.col,
+                        snippet=fact.snippet,
+                        message=(
+                            f"SweepSpec targets `{fact.experiment_id}`, which is "
+                            "not a registered sweepable experiment"
+                        ),
+                    )
+                    continue
+                allowed = declared[fact.experiment_id] | _IMPLICIT
+                unknown = sorted(self._fact_axes(model, summary, fact) - allowed)
+                if unknown:
+                    yield self.project_finding(
+                        path=summary.path,
+                        line=fact.line,
+                        col=fact.col,
+                        snippet=fact.snippet,
+                        message=(
+                            f"grid ax{'es' if len(unknown) > 1 else 'is'} "
+                            f"{', '.join(unknown)} not declared in SWEEP_PARAMS "
+                            f"for `{fact.experiment_id}` — the sweep would fail "
+                            "axis validation; declare the axis or fix the name"
+                        ),
+                    )

@@ -103,26 +103,47 @@ class GlobalRngRule(Rule):
 class _SetLocalCollector(ast.NodeVisitor):
     """Names assigned a set-valued expression anywhere in the module.
 
-    Deliberately flow-insensitive: a name that ever holds a set is treated
-    as set-valued at every iteration site.  False positives are cheap to
-    silence with ``sorted(...)`` (which is also the fix) or a noqa.
+    Mostly flow-insensitive: a name that ever holds a set is treated as
+    set-valued at every iteration site.  The one flow fact honoured is
+    the sanitizing reassignment — ``x = sorted(x)`` (or ``list(sorted(x))``)
+    re-binds the name to an explicitly ordered list, which is exactly the
+    fix DET002 asks for, so the name stops counting as set-valued from
+    then on.  Remaining false positives are cheap to silence with
+    ``sorted(...)`` at the iteration site or a noqa.
     """
 
     def __init__(self) -> None:
         self.set_names: Set[str] = set()
 
+    def _rebind(self, name: str, value: ast.expr) -> None:
+        if _is_sanitizing_expr(value):
+            self.set_names.discard(name)
+        elif _is_set_expr(value, self.set_names):
+            self.set_names.add(name)
+
     def visit_Assign(self, node: ast.Assign) -> None:
-        if _is_set_expr(node.value, self.set_names):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    self.set_names.add(target.id)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._rebind(target.id, node.value)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if node.value is not None and _is_set_expr(node.value, self.set_names):
-            if isinstance(node.target, ast.Name):
-                self.set_names.add(node.target.id)
+        if node.value is not None and isinstance(node.target, ast.Name):
+            self._rebind(node.target.id, node.value)
         self.generic_visit(node)
+
+
+def _is_sanitizing_expr(node: ast.expr) -> bool:
+    """True for ``sorted(...)`` and ``list/tuple(sorted(...))`` wrappers."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+        return False
+    if node.func.id == "sorted":
+        return True
+    return (
+        node.func.id in ("list", "tuple")
+        and bool(node.args)
+        and _is_sanitizing_expr(node.args[0])
+    )
 
 
 def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:

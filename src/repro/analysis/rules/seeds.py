@@ -1,0 +1,150 @@
+"""SEED001/SEED002 — project-wide RNG/seed provenance taint tracking.
+
+The paper's economies are comparable only because every run replays
+bit-identically from ``(config, seed, code)``.  That guarantee has one
+chokepoint: every generator used on an execution path must take a seed
+that descends from :func:`repro.utils.rng.derive_seed` or from a value
+the caller injected (parameter, config field) — and the generator itself
+must stay run-scoped.  Per-file DET001 catches global-RNG *calls*; these
+rules catch the two ways a correctly-called generator still breaks
+provenance:
+
+SEED001
+    An RNG constructor (``default_rng`` / ``make_rng`` / ``Random``)
+    whose seed argument does not flow — through any number of call hops,
+    resolved project-wide — from ``derive_seed`` or an injected value.
+    Unseeded construction (``default_rng()``) is the degenerate case.
+
+SEED002
+    A generator escaping into state that outlives one run: a module
+    global, a class attribute, or a default-argument value (evaluated
+    once at import, then shared by every call).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Set
+
+from repro.analysis.core import Finding, ProjectRule, Severity, register
+from repro.analysis.flow import (
+    canonical_rng_constructors,
+    resolve_call_tag,
+    rng_returning_functions,
+    seed_returning_functions,
+)
+from repro.analysis.project import ProjectModel, RngSite
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.config import AnalysisConfig
+
+__all__ = ["SeedProvenanceRule", "RngEscapeRule"]
+
+#: Tags that carry sanctioned provenance on their own: a parameter is an
+#: injection point, and an attribute/subscript read is a config or
+#: instance field the constructor's caller owns.
+_SANCTIONED_TAGS = {"param", "attr"}
+
+
+def _site_sanctioned(
+    model: ProjectModel, module: str, site: RngSite, seeders: Set[str]
+) -> bool:
+    for tag in site.tags:
+        if tag in _SANCTIONED_TAGS:
+            return True
+        target = resolve_call_tag(model, tag, module)
+        if target is not None and target in seeders:
+            return True
+    return False
+
+
+@register
+class SeedProvenanceRule(ProjectRule):
+    id = "SEED001"
+    severity = Severity.ERROR
+    summary = (
+        "generator seeds in simulation code must descend from derive_seed "
+        "or an injected parameter/config field (traced across modules)"
+    )
+
+    def check_project(
+        self, model: ProjectModel, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        constructors = canonical_rng_constructors(model)
+        seeders = seed_returning_functions(model)
+        for summary in model.summaries.values():
+            if not config.covers_path(self.id, summary.path):
+                continue
+            for site in summary.rng_sites:
+                canonical = model.resolve(site.constructor, summary.module)
+                if canonical not in constructors:
+                    continue
+                if _site_sanctioned(model, summary.module, site, seeders):
+                    continue
+                if config.allowed_context_for_path(self.id, summary.path, site.qualname):
+                    continue
+                if "unseeded" in site.tags:
+                    detail = "is constructed without a seed"
+                elif "none" in site.tags:
+                    detail = "is seeded with an explicit None"
+                elif "literal" in site.tags:
+                    detail = "is seeded with a hard-coded literal"
+                else:
+                    detail = (
+                        "takes a seed with no traceable provenance "
+                        f"(tags: {', '.join(site.tags)})"
+                    )
+                yield self.project_finding(
+                    path=summary.path,
+                    line=site.line,
+                    col=site.col,
+                    snippet=site.snippet,
+                    message=(
+                        f"generator in `{site.qualname or '<module>'}` {detail} — "
+                        "seeds must flow from derive_seed or an injected "
+                        "parameter/config field so runs replay bit-identically"
+                    ),
+                )
+
+
+@register
+class RngEscapeRule(ProjectRule):
+    id = "SEED002"
+    severity = Severity.ERROR
+    summary = (
+        "generators must stay run-scoped: no module globals, class "
+        "attributes or default-argument RNG values"
+    )
+
+    _KIND_DETAIL = {
+        "module-global": "escapes into a module global",
+        "class-attribute": "escapes into a class attribute shared by all instances",
+        "default-argument": "is evaluated once as a default argument and shared by every call",
+    }
+
+    def check_project(
+        self, model: ProjectModel, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        constructors = canonical_rng_constructors(model)
+        makers = rng_returning_functions(model)
+        for summary in model.summaries.values():
+            if not config.covers_path(self.id, summary.path):
+                continue
+            for escape in summary.rng_escapes:
+                canonical = model.resolve(escape.constructor, summary.module)
+                if canonical not in constructors and canonical not in makers:
+                    continue
+                qualname = escape.qualname or escape.name
+                if config.allowed_context_for_path(self.id, summary.path, qualname):
+                    continue
+                detail = self._KIND_DETAIL.get(escape.kind, escape.kind)
+                yield self.project_finding(
+                    path=summary.path,
+                    line=escape.line,
+                    col=escape.col,
+                    snippet=escape.snippet,
+                    message=(
+                        f"generator bound to `{escape.name}` {detail} — RNG "
+                        "state that outlives a run breaks replayability; "
+                        "construct generators per run and pass them down"
+                    ),
+                )

@@ -1,0 +1,199 @@
+"""THREAD001/THREAD002 — shared state across ``repro serve`` threads.
+
+The sweep daemon runs each job in its own worker thread while the HTTP
+handler threads read job state; the paper's determinism story survives
+that concurrency only if shared structures are lock-disciplined and
+telemetry emitters are resolved inside the thread that uses them.
+
+THREAD001
+    In a thread-spawning module, a mutable container (dict/list/set)
+    reachable from more than one method of a lock-carrying or
+    thread-targeted class must be accessed under the class's lock on
+    *every* path — one unlocked read is enough to observe a dict mid-
+    resize.  Module-level mutable globals mutated without a lock in such
+    modules are flagged the same way.  Plain attribute rebinding
+    (``job.status = "done"``) is deliberately not flagged: it is an
+    atomic store under the GIL and the daemon's single-writer job
+    lifecycle depends on it — the rule targets structures with
+    non-atomic invariants.
+
+THREAD002
+    ContextVar-scoped emitters do not propagate to new threads, so
+    ``get_emitter()`` results captured before ``Thread.start()`` (bound
+    to ``self``, a module global, or a closure the thread runs) silently
+    pin the *spawning* context's emitter.  Threads must resolve the
+    emitter after start — or receive one explicitly via ``args=``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, Set
+
+from repro.analysis.core import Finding, ProjectRule, Severity, register
+from repro.analysis.project import ClassFacts, ModuleSummary, ProjectModel
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.config import AnalysisConfig
+
+__all__ = ["UnlockedSharedStateRule", "EmitterCaptureRule"]
+
+
+def _thread_shared_classes(summary: ModuleSummary) -> Set[str]:
+    """Classes in a thread-spawning module whose instances cross threads.
+
+    Conservative: a class participates if it carries a lock attribute
+    (the author already believes it is shared) or one of its methods is a
+    ``Thread(target=...)``.
+    """
+    if not summary.spawns_threads:
+        return set()
+    shared: Set[str] = set()
+    thread_methods = {
+        target.split(":", 1)[1].split(".")[-1]
+        for target in summary.thread_targets
+        if target.startswith(("self:", "local:"))
+    }
+    for name, facts in summary.classes.items():
+        if facts.lock_attrs:
+            shared.add(name)
+        elif thread_methods & set(facts.methods):
+            shared.add(name)
+    return shared
+
+
+def _shared_attrs(facts: ClassFacts) -> Set[str]:
+    """Mutable attrs touched from >1 method with at least one mutation."""
+    methods_by_attr: Dict[str, Set[str]] = {}
+    mutated: Set[str] = set()
+    for access in facts.accesses:
+        methods_by_attr.setdefault(access.attr, set()).add(access.method)
+        if access.mutation:
+            mutated.add(access.attr)
+    return {
+        attr for attr, methods in methods_by_attr.items()
+        if attr in mutated and len(methods) > 1
+    }
+
+
+@register
+class UnlockedSharedStateRule(ProjectRule):
+    id = "THREAD001"
+    severity = Severity.ERROR
+    summary = (
+        "mutable state shared between worker threads and the main thread "
+        "must hold the lock on every access path"
+    )
+
+    def check_project(
+        self, model: ProjectModel, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        for summary in model.summaries.values():
+            if not config.covers_path(self.id, summary.path):
+                continue
+            if not summary.spawns_threads:
+                continue
+            for class_name in sorted(_thread_shared_classes(summary)):
+                facts = summary.classes[class_name]
+                if not facts.lock_attrs:
+                    # No lock at all: flag each shared attr at its definition.
+                    for attr in sorted(_shared_attrs(facts)):
+                        line, col, kind = facts.mutable_attrs[attr][:3]
+                        qualname = f"{class_name}.__init__"
+                        if config.allowed_context_for_path(self.id, summary.path, qualname):
+                            continue
+                        yield self.project_finding(
+                            path=summary.path,
+                            line=line,
+                            col=col,
+                            snippet="",
+                            message=(
+                                f"`{class_name}.{attr}` ({kind}) is mutated from "
+                                "multiple methods of a thread-shared class that "
+                                "has no lock — add a threading.Lock and hold it "
+                                "on every access"
+                            ),
+                        )
+                    continue
+                shared = _shared_attrs(facts)
+                for access in facts.accesses:
+                    if access.attr not in shared or access.locked:
+                        continue
+                    qualname = f"{class_name}.{access.method}"
+                    if config.allowed_context_for_path(self.id, summary.path, qualname):
+                        continue
+                    action = "mutated" if access.mutation else "read"
+                    yield self.project_finding(
+                        path=summary.path,
+                        line=access.line,
+                        col=access.col,
+                        snippet=access.snippet,
+                        message=(
+                            f"`self.{access.attr}` is {action} in "
+                            f"`{qualname}` without holding "
+                            f"`self.{facts.lock_attrs[0]}` — this container is "
+                            "shared with worker threads and every access path "
+                            "must be locked"
+                        ),
+                    )
+            for qualname, name, line, col, snippet in summary.global_mutations:
+                if config.allowed_context_for_path(self.id, summary.path, qualname):
+                    continue
+                yield self.project_finding(
+                    path=summary.path,
+                    line=line,
+                    col=col,
+                    snippet=snippet,
+                    message=(
+                        f"module global `{name}` is mutated without a lock in a "
+                        "thread-spawning module — worker threads can observe "
+                        "the container mid-update"
+                    ),
+                )
+
+
+@register
+class EmitterCaptureRule(ProjectRule):
+    id = "THREAD002"
+    severity = Severity.ERROR
+    summary = (
+        "ContextVar emitters must be resolved inside the running thread, "
+        "not captured before Thread.start()"
+    )
+
+    _KIND_DETAIL = {
+        "stored-attribute": (
+            "stored on self at construction time; the ContextVar binding "
+            "active later is ignored"
+        ),
+        "module-global": (
+            "bound to a module global at import time; every run and every "
+            "thread then shares the import-time emitter"
+        ),
+        "thread-closure": (
+            "captured into a closure that runs on a new thread; ContextVars "
+            "do not propagate to threads, so the worker sees a stale emitter"
+        ),
+    }
+
+    def check_project(
+        self, model: ProjectModel, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        for summary in model.summaries.values():
+            if not config.covers_path(self.id, summary.path):
+                continue
+            for capture in summary.emitter_captures:
+                qualname = capture.qualname
+                if config.allowed_context_for_path(self.id, summary.path, qualname):
+                    continue
+                detail = self._KIND_DETAIL.get(capture.kind, capture.kind)
+                yield self.project_finding(
+                    path=summary.path,
+                    line=capture.line,
+                    col=capture.col,
+                    snippet=capture.snippet,
+                    message=(
+                        f"`get_emitter()` result {detail} — call get_emitter() "
+                        "at use time inside the thread, or pass the emitter "
+                        "explicitly via Thread(args=...)"
+                    ),
+                )

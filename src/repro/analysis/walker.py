@@ -1,9 +1,11 @@
-"""File discovery, suppression parsing and analysis orchestration.
+"""File discovery, suppression parsing and two-pass analysis orchestration.
 
 This is the driver: it finds the ``.py`` files under the requested paths
 (in sorted order — the analyzer eats its own DET002 dogfood), parses each
-one, runs every in-scope rule, applies ``# repro: noqa`` suppressions and
-the committed baseline, and assembles a :class:`Report`.
+one, runs every in-scope per-file rule, builds the cached project model
+(pass 1) and runs the cross-module rules over it (pass 2), applies
+``# repro: noqa`` suppressions and the committed baseline, and assembles
+a :class:`Report`.
 
 Suppression syntax, on the flagged line::
 
@@ -12,7 +14,14 @@ Suppression syntax, on the flagged line::
 The rule list and the ``-- reason`` are both mandatory: a suppression
 without either does not suppress and is itself reported (NOQA001), and a
 suppression that matches no finding is reported as stale (NOQA002) so
-dead annotations cannot accumulate.
+dead annotations cannot accumulate.  Project-rule findings route through
+the same suppression machinery: NOQA002 is only decided after pass 2.
+
+Incremental mode: with a cache directory, pass 1 re-parses only modules
+whose content hash changed; with ``changed_only`` the per-file pass and
+the report are additionally restricted to changed files plus their
+transitive reverse importers (the files whose cross-module facts could
+have shifted).
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
@@ -33,18 +42,26 @@ from repro.analysis.core import (
     STATUS_SUPPRESSED,
     FileContext,
     Finding,
+    ProjectRule,
     Rule,
     Severity,
     all_rules,
 )
+from repro.analysis.project import ProjectCache, ProjectModel
 
-__all__ = ["Suppression", "Report", "iter_python_files", "analyze_file", "analyze_paths"]
+__all__ = [
+    "Suppression",
+    "Report",
+    "iter_python_files",
+    "analyze_file",
+    "analyze_paths",
+]
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa\b(?P<rest>.*)$")
 _RULE_ID_RE = re.compile(r"[A-Z]+\d+")
 
 #: Directories never descended into during discovery.
-_SKIP_DIRS = {"__pycache__", ".git", ".artifact-cache"}
+_SKIP_DIRS = {"__pycache__", ".git", ".artifact-cache", ".repro-analysis-cache"}
 
 
 @dataclass
@@ -65,6 +82,13 @@ class Report:
     paths: List[str] = field(default_factory=list)
     findings: List[Finding] = field(default_factory=list)
     files_analyzed: int = 0
+    #: Pass-1 model statistics (all zero when no project pass ran).
+    modules_total: int = 0
+    modules_reparsed: int = 0
+    modules_cached: int = 0
+    #: ``--changed`` bookkeeping: was the report restricted, and to what.
+    changed_only: bool = False
+    files_selected: int = 0
 
     @property
     def active(self) -> List[Finding]:
@@ -158,19 +182,30 @@ def _display_path(path: Path) -> str:
         return path.as_posix()
 
 
-def analyze_file(
-    path: Path,
-    config: AnalysisConfig = DEFAULT_CONFIG,
-    rules: Optional[Sequence[Rule]] = None,
-) -> List[Finding]:
-    """Run every in-scope rule over one file, suppressions applied."""
+@dataclass
+class _FileEntry:
+    """One discovered file's state while the two passes run."""
+
+    display: str
+    source: str
+    tree: Optional[ast.Module] = None
+    ctx: Optional[FileContext] = None
+    findings: List[Finding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    malformed: List[Tuple[int, str]] = field(default_factory=list)
+
+
+def _load_file(path: Path) -> _FileEntry:
+    """Read + parse one file; a syntax error becomes a PARSE001 finding."""
     display = _display_path(path)
     source = path.read_text(encoding="utf-8")
+    entry = _FileEntry(display=display, source=source)
+    entry.suppressions, entry.malformed = parse_suppressions(source)
     try:
-        tree = ast.parse(source, filename=str(path))
+        entry.tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
         line = error.lineno or 1
-        return [
+        entry.findings.append(
             Finding(
                 rule="PARSE001",
                 severity=Severity.ERROR,
@@ -180,30 +215,49 @@ def analyze_file(
                 message=f"file does not parse: {error.msg}",
                 snippet="",
             )
-        ]
-    ctx = FileContext(path=display, source=source, tree=tree)
-    active_rules = list(rules) if rules is not None else all_rules()
-    findings: List[Finding] = []
-    for rule in active_rules:
-        if not config.in_scope(rule.id, ctx):
-            continue
-        findings.extend(rule.check(ctx, config))
+        )
+        return entry
+    entry.ctx = FileContext(path=display, source=source, tree=entry.tree)
+    return entry
 
-    suppressions, malformed = parse_suppressions(source)
-    for lineno, problem in malformed:
+
+def _run_file_rules(
+    entry: _FileEntry, config: AnalysisConfig, rules: Sequence[Rule]
+) -> None:
+    if entry.ctx is None:
+        return
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            continue
+        if not config.in_scope(rule.id, entry.ctx):
+            continue
+        entry.findings.extend(rule.check(entry.ctx, config))
+
+
+def _finalize_file(entry: _FileEntry) -> List[Finding]:
+    """Apply suppressions and emit the NOQA hygiene findings for one file."""
+
+    def snippet(line: int) -> str:
+        if entry.ctx is not None:
+            return entry.ctx.snippet(line)
+        lines = entry.source.splitlines()
+        return lines[line - 1].strip() if 1 <= line <= len(lines) else ""
+
+    findings = entry.findings
+    for lineno, problem in entry.malformed:
         findings.append(
             Finding(
                 rule="NOQA001",
                 severity=Severity.WARNING,
-                path=display,
+                path=entry.display,
                 line=lineno,
                 col=0,
                 message=problem,
-                snippet=ctx.snippet(lineno),
+                snippet=snippet(lineno),
             )
         )
     by_line: Dict[int, List[Suppression]] = {}
-    for suppression in suppressions:
+    for suppression in entry.suppressions:
         by_line.setdefault(suppression.line, []).append(suppression)
     for finding in findings:
         for suppression in by_line.get(finding.line, []):
@@ -212,24 +266,39 @@ def analyze_file(
                 finding.justification = suppression.reason
                 suppression.used = True
                 break
-    for suppression in suppressions:
+    for suppression in entry.suppressions:
         if not suppression.used:
             findings.append(
                 Finding(
                     rule="NOQA002",
                     severity=Severity.WARNING,
-                    path=display,
+                    path=entry.display,
                     line=suppression.line,
                     col=0,
                     message=(
                         f"suppression for {', '.join(suppression.rules)} matched no "
                         "finding on this line — remove the stale annotation"
                     ),
-                    snippet=ctx.snippet(suppression.line),
+                    snippet=snippet(suppression.line),
                 )
             )
     findings.sort(key=Finding.sort_key)
     return findings
+
+
+def analyze_file(
+    path: Path,
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run every in-scope per-file rule over one file, suppressions applied.
+
+    Project rules need the whole-program model and are skipped here; use
+    :func:`analyze_paths` to run them.
+    """
+    entry = _load_file(path)
+    _run_file_rules(entry, config, list(rules) if rules is not None else all_rules())
+    return _finalize_file(entry)
 
 
 def analyze_paths(
@@ -237,12 +306,73 @@ def analyze_paths(
     config: AnalysisConfig = DEFAULT_CONFIG,
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    changed_only: bool = False,
 ) -> Report:
-    """Analyze every file under ``paths`` and apply the baseline."""
-    report = Report(paths=[str(p) for p in paths])
+    """Analyze every file under ``paths``: both passes, baseline applied.
+
+    ``cache_dir`` enables the incremental project-model cache (pass 1
+    re-parses only content-changed modules).  ``changed_only`` further
+    restricts the per-file pass — and the report — to changed files plus
+    their transitive reverse importers; pass 1 still summarizes every
+    file (from cache where unchanged) so cross-module rules always see
+    the whole program.
+    """
+    report = Report(paths=[str(p) for p in paths], changed_only=changed_only)
+    active_rules = list(rules) if rules is not None else all_rules()
+    project_rules = [rule for rule in active_rules if isinstance(rule, ProjectRule)]
+
+    entries: List[_FileEntry] = []
+    by_display: Dict[str, _FileEntry] = {}
     for path in iter_python_files(paths):
-        report.findings.extend(analyze_file(path, config=config, rules=rules))
+        entry = _load_file(path)
+        entries.append(entry)
+        by_display[entry.display] = entry
+
+    model: Optional[ProjectModel] = None
+    if project_rules or changed_only:
+        cache: Optional[ProjectCache] = None
+        cached = None
+        if cache_dir is not None:
+            cache = ProjectCache(cache_dir)
+            cached = cache.load()
+        model = ProjectModel.build(
+            [(entry.display, entry.source) for entry in entries],
+            cached=cached,
+            trees={
+                entry.display: entry.tree for entry in entries if entry.tree is not None
+            },
+        )
+        if cache is not None:
+            cache.save(model.summaries)
+        report.modules_total = len(model.summaries)
+        report.modules_reparsed = model.cache_misses
+        report.modules_cached = model.cache_hits
+
+    selected: Set[str] = set(by_display)
+    if changed_only and model is not None:
+        selected = model.reverse_importers(model.changed_paths) | model.changed_paths
+
+    for entry in entries:
+        if entry.display not in selected:
+            continue
+        _run_file_rules(entry, config, active_rules)
+
+    if model is not None:
+        for rule in project_rules:
+            for finding in rule.check_project(model, config):
+                target = by_display.get(finding.path)
+                if target is None or finding.path not in selected:
+                    continue
+                target.findings.append(finding)
+
+    for entry in entries:
+        if entry.display not in selected:
+            continue
+        report.findings.extend(_finalize_file(entry))
         report.files_analyzed += 1
+    report.files_selected = len(selected & set(by_display))
+
     if baseline is not None:
         baseline.apply(report.findings)
     report.findings.sort(key=Finding.sort_key)

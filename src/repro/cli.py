@@ -252,6 +252,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also list suppressed and baselined findings",
     )
+    analyze_parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "restrict the report to files whose content hash differs from the "
+            "cached project model, plus their transitive reverse importers "
+            "(cold cache = full run)"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--cache-dir",
+        default=".repro-analysis-cache",
+        metavar="DIR",
+        help="incremental project-model cache directory (default: %(default)s)",
+    )
+    analyze_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="build the project model from scratch and persist nothing",
+    )
     return parser
 
 
@@ -388,7 +408,13 @@ def _command_analyze(args: argparse.Namespace) -> int:
         return _print_error(error)
     try:
         baseline = Baseline.load(args.baseline) if not args.no_baseline else None
-        report = analyze_paths(args.paths, rules=rules, baseline=baseline)
+        report = analyze_paths(
+            args.paths,
+            rules=rules,
+            baseline=baseline,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            changed_only=args.changed,
+        )
     except (FileNotFoundError, ValueError) as error:
         return _print_error(error)
     if args.write_baseline:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Tuple
 
 from repro.experiments import (
     fig01_spending_rates,
@@ -204,7 +204,7 @@ def normalize_sweep_config(experiment_id: str, config: Dict[str, object]) -> Dic
     return normalizer(dict(config))
 
 
-def sweep_params(experiment_id: str) -> tuple:
+def sweep_params(experiment_id: str) -> Tuple[str, ...]:
     """The sweep axes a sweepable experiment's point runner accepts.
 
     Raises the same "not sweepable" ``KeyError`` as :func:`get_sweep_runner`

@@ -179,10 +179,10 @@ class SweepService:
             )
             self._jobs[job.id] = job
             self._order.append(job.id)
-        thread = threading.Thread(
-            target=self._execute, args=(job,), name=f"repro-serve-{job.id}", daemon=True
-        )
-        self._threads[job.id] = thread
+            thread = threading.Thread(
+                target=self._execute, args=(job,), name=f"repro-serve-{job.id}", daemon=True
+            )
+            self._threads[job.id] = thread
         thread.start()
         return job
 
@@ -198,7 +198,9 @@ class SweepService:
 
     def join(self, timeout: Optional[float] = None) -> None:
         """Wait for every worker thread to finish (tests and clean shutdown)."""
-        for thread in list(self._threads.values()):
+        with self._lock:
+            threads = list(self._threads.values())
+        for thread in threads:
             thread.join(timeout)
 
     def _execute(self, job: SweepJob) -> None:

@@ -6,6 +6,8 @@ import json
 import textwrap
 from pathlib import Path
 
+import pytest
+
 from repro.analysis import Baseline, analyze_paths
 from repro.cli import main
 
@@ -189,11 +191,140 @@ class TestSuppressionRoundTrip:
         assert "NOQA002" in out
 
 
+ALPHA = """
+def helper():
+    return 1
+"""
+
+BETA = """
+from repro.runner.alpha import helper
+
+def run():
+    return helper()
+"""
+
+
+def _project_tree(root):
+    _write_fixture(root, ALPHA, name="alpha.py")
+    _write_fixture(root, BETA, name="beta.py")
+    _write_fixture(root, VIOLATING, name="gamma.py")
+    return root / "src"
+
+
+def _analyze(root, *extra, json_to=None):
+    argv = [
+        "analyze",
+        str(root / "src"),
+        "--baseline",
+        str(root / "base.json"),
+        "--cache-dir",
+        str(root / "cache"),
+        *extra,
+    ]
+    if json_to is not None:
+        argv += ["--json", str(json_to)]
+    return main(argv)
+
+
+class TestIncrementalCache:
+    def test_warm_run_reparses_nothing(self, tmp_path, capsys):
+        _project_tree(tmp_path)
+        report_path = tmp_path / "report.json"
+        assert _analyze(tmp_path, json_to=report_path) == 1
+        cold = json.loads(report_path.read_text())["project_model"]
+        assert cold["modules_reparsed"] == 3
+        assert cold["modules_cached"] == 0
+        # Second run, nothing changed: every summary replays from disk.
+        assert _analyze(tmp_path, json_to=report_path) == 1
+        warm = json.loads(report_path.read_text())["project_model"]
+        assert warm["modules_reparsed"] == 0
+        assert warm["modules_cached"] == 3
+        out = capsys.readouterr().out
+        assert "3 from cache" in out
+
+    def test_editing_one_module_reparses_only_it(self, tmp_path, capsys):
+        _project_tree(tmp_path)
+        report_path = tmp_path / "report.json"
+        _analyze(tmp_path, json_to=report_path)
+        _write_fixture(tmp_path, ALPHA + "\nX = 2\n", name="alpha.py")
+        _analyze(tmp_path, json_to=report_path)
+        model = json.loads(report_path.read_text())["project_model"]
+        assert model["modules_reparsed"] == 1
+        assert model["modules_cached"] == 2
+        capsys.readouterr()
+
+    def test_no_cache_flag_always_reparses(self, tmp_path, capsys):
+        _project_tree(tmp_path)
+        report_path = tmp_path / "report.json"
+        _analyze(tmp_path, "--no-cache", json_to=report_path)
+        model = json.loads(report_path.read_text())["project_model"]
+        assert model["modules_reparsed"] == 3
+        # --no-cache neither reads nor writes the cache directory.
+        assert not (tmp_path / "cache").exists()
+        _analyze(tmp_path, "--no-cache", json_to=report_path)
+        again = json.loads(report_path.read_text())["project_model"]
+        assert again["modules_reparsed"] == 3
+        assert not (tmp_path / "cache").exists()
+        capsys.readouterr()
+
+
+class TestChangedOnly:
+    def test_changed_selects_edits_and_their_reverse_importers(self, tmp_path, capsys):
+        _project_tree(tmp_path)
+        report_path = tmp_path / "report.json"
+        # Cold full run: gamma's DET003 gates.
+        assert _analyze(tmp_path) == 1
+        # Only alpha changes (still clean).  --changed restricts reporting
+        # to alpha plus beta (its importer) — gamma's standing finding is
+        # out of the diff's blast radius and must not gate this run.
+        _write_fixture(tmp_path, ALPHA + "\nX = 2\n", name="alpha.py")
+        assert _analyze(tmp_path, "--changed", json_to=report_path) == 0
+        payload = json.loads(report_path.read_text())
+        model = payload["project_model"]
+        assert model["changed_only"] is True
+        assert model["files_selected"] == 2
+        assert model["modules_reparsed"] == 1
+        selected = {f["path"] for f in payload["findings"]}
+        assert not any(path.endswith("gamma.py") for path in selected)
+        out = capsys.readouterr().out
+        assert "--changed selected 2 file(s)" in out
+
+    def test_changed_still_catches_violations_in_importers(self, tmp_path, capsys):
+        _project_tree(tmp_path)
+        _analyze(tmp_path)
+        # beta gains a violation; only beta changed, so --changed selects
+        # it and the finding gates.
+        _write_fixture(tmp_path, BETA + "\nimport time\nNOW = time.time()\n", name="beta.py")
+        assert _analyze(tmp_path, "--changed") == 1
+        out = capsys.readouterr().out
+        assert "DET003" in out
+
+    def test_cold_cache_falls_back_to_full_run(self, tmp_path, capsys):
+        _project_tree(tmp_path)
+        # No prior cache: every file counts as changed, so --changed
+        # degrades to a full run and gamma still gates.
+        assert _analyze(tmp_path, "--changed") == 1
+        capsys.readouterr()
+
+
 class TestSelfCheck:
-    def test_repository_is_clean_modulo_committed_baseline(self, monkeypatch, capsys):
-        """`repro analyze src/ tests/ benchmarks/` — the CI gate — passes."""
+    @pytest.mark.parametrize(
+        "paths",
+        [
+            ("src",),
+            ("tests",),
+            ("benchmarks",),
+            ("examples",),
+            ("src", "tests", "benchmarks", "examples"),
+        ],
+        ids=lambda paths: "+".join(paths),
+    )
+    def test_repository_is_clean_modulo_committed_baseline(
+        self, paths, tmp_path, monkeypatch, capsys
+    ):
+        """`repro analyze src tests benchmarks examples` — the CI gate — passes."""
         monkeypatch.chdir(REPO_ROOT)
-        code = main(["analyze", "src", "tests", "benchmarks"])
+        code = main(["analyze", *paths, "--cache-dir", str(tmp_path / "cache")])
         out = capsys.readouterr().out
         assert code == 0, out
 

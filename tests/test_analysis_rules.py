@@ -219,6 +219,54 @@ class TestDET002UnorderedIteration:
             """
         ) == []
 
+    def test_sorted_reassignment_sanitizes_the_name(self):
+        # `x = sorted(x)` is exactly the fix the rule asks for — the name
+        # is an ordered list from then on, not a set.
+        assert fired(
+            """
+            def f(xs):
+                alive = set(xs)
+                alive = sorted(alive)
+                for x in alive:
+                    yield x
+            """
+        ) == []
+
+    def test_list_sorted_reassignment_sanitizes_the_name(self):
+        assert fired(
+            """
+            def f(xs):
+                alive = set(xs)
+                alive = list(sorted(alive))
+                for x in alive:
+                    yield x
+            """
+        ) == []
+
+    def test_unsanitized_reassignment_still_fires(self):
+        # Rebinding to `list(...)` (no sorted) preserves the unordered
+        # traversal, so the name stays flagged.
+        assert fired(
+            """
+            def f(xs):
+                alive = set(xs)
+                alive = list(alive)
+                for x in alive:
+                    yield x
+            """
+        ) == ["DET002"]
+
+    def test_resanitized_name_can_become_a_set_again(self):
+        assert fired(
+            """
+            def f(xs, ys):
+                alive = sorted(xs)
+                alive = set(ys)
+                for x in alive:
+                    yield x
+            """
+        ) == ["DET002"]
+
     def test_dict_views_are_deliberately_allowed(self):
         # CPython dicts iterate in insertion order; flagging them would be
         # pure noise (see config.py for the scoping rationale).
@@ -623,6 +671,12 @@ class TestRegistry:
             "PICKLE001",
             "OBS001",
             "KERNEL001",
+            "SEED001",
+            "SEED002",
+            "THREAD001",
+            "THREAD002",
+            "SWEEP001",
+            "SWEEP002",
             "NOQA001",
             "NOQA002",
             "PARSE001",
