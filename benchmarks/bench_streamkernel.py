@@ -10,11 +10,15 @@ repo root.
 Two profiles share one recording format:
 
 * the default (full) profile measures 100 / 500 / 1000 peers — the
-  paper's population range — and is what the committed baseline holds;
-* ``REPRO_BENCH_STREAMKERNEL=smoke`` measures only the small populations;
-  CI runs it on every PR and ``check_bench_regression.py`` compares the
-  overlapping populations against the committed baseline (>30% throughput
-  regression of *either* kernel fails).
+  paper's population range — with both kernels, plus a vectorized-only
+  population-scaling axis at 10k / 100k peers (the edge-segment kernel's
+  large-swarm headroom; the loop kernel is Python-bound and skipped
+  there) and is what the committed baseline holds;
+* ``REPRO_BENCH_STREAMKERNEL=smoke`` measures only the small populations
+  plus the 10k scaling cell; CI runs it on every PR and
+  ``check_bench_regression.py`` compares the overlapping populations
+  against the committed baseline (>30% throughput regression of *either*
+  kernel fails).
 
 ``REPRO_BENCH_STREAMKERNEL_OUT`` redirects the output file (CI writes to
 a scratch path so the committed baseline stays pristine).
@@ -43,7 +47,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.obs import MemorySink, MetricsEmitter, use_emitter
-from repro.p2psim import StreamingMarketSimulator, StreamingSimConfig
+from repro.p2psim import KernelOptions, StreamingMarketSimulator, StreamingSimConfig
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_streamkernel.json"
 
@@ -55,6 +59,16 @@ OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_streamkernel.json"
 PROFILES = {
     "full": [(100, 200), (500, 60), (1000, 30)],
     "smoke": [(100, 200), (500, 60)],
+}
+
+#: Vectorized-only population-scaling cells ``(num_peers, ticks)``.  The
+#: loop kernel walks peers and window cells in Python and is skipped at
+#: these sizes; cross-kernel identity is covered by the paired populations
+#: above.  The smoke cell is identical to the full profile's, so CI smoke
+#: numbers compare like-for-like against the committed baseline.
+SCALING = {
+    "full": [(10_000, 10), (100_000, 3)],
+    "smoke": [(10_000, 10)],
 }
 
 KERNELS = ("loop", "vectorized")
@@ -75,7 +89,7 @@ def _config(num_peers: int, ticks: int, kernel: str) -> StreamingSimConfig:
         initial_credits=100.0,
         horizon=float(ticks),
         sample_interval=float(ticks),  # one warm-up sample, one final
-        kernel=kernel,
+        options=KernelOptions(kernel=kernel),
         seed=1,
     )
 
@@ -183,6 +197,21 @@ def test_streamkernel_throughput():
                 measured["vectorized"]["disabled_ticks_per_second"], 2
             )
         populations.append(entry)
+
+    for num_peers, ticks in SCALING[profile]:
+        best = None
+        for _ in range(REPEATS["vectorized"]):
+            run = _timed_run(num_peers, ticks, "vectorized", contextlib.nullcontext())
+            if best is None or run["seconds"] < best["seconds"]:
+                best = run
+        populations.append(
+            {
+                "num_peers": num_peers,
+                "ticks": ticks,
+                "chunks": best["chunks"],
+                "vectorized_ticks_per_second": round(best["ticks_per_second"], 2),
+            }
+        )
 
     record = {
         "profile": profile,

@@ -30,14 +30,18 @@ caching so interrupted or repeated sweeps skip completed shards.  Both
 every market *and* streaming simulation into N checkpointed round-blocks
 that pipeline across the worker pool and (with ``--cache-dir``) resume
 interrupted paper-scale runs at block granularity — byte-identical to the
-monolithic run in every case.  The streaming experiments (``fig5_6`` and
-``fig11`` via their ``simulator=streaming`` axis, ``fig1`` natively)
-additionally expose a ``kernel`` sweep axis selecting the batched
-(``vectorized``) or per-peer (``loop``) scheduling round — results are
-bit-identical between the kernels::
+monolithic run in every case.  Every simulator-backed experiment exposes
+the shared kernel options as ``kernel`` and ``dtype`` sweep axes —
+``kernel`` selects the batched (``vectorized``) or per-peer (``loop``)
+round implementation (bit-identical results), ``dtype`` the ``float64``
+(default, exact) or ``float32`` (narrow, statistically equivalent) state
+representation — and both ``run`` and ``sweep`` accept ``--kernel`` /
+``--dtype`` flags that pin the setting on every shard::
 
     python -m repro.cli sweep fig5_6 --param simulator=streaming \
         --param kernel=loop,vectorized --scale smoke
+    python -m repro.cli run fig7 --scale paper --dtype float32
+    python -m repro.cli sweep fig7-paper --kernel loop --reps 4
 
 ``serve`` starts a resident sweep daemon (stdlib HTTP, JSON API): POST a
 sweep job to ``/runs``, poll its status at ``/runs/<id>``, stream its live
@@ -67,6 +71,7 @@ from typing import List, Optional
 
 from repro.experiments import describe_experiments, run_experiment
 from repro.experiments.common import Scale
+from repro.p2psim.options import DTYPES, KERNELS
 
 __all__ = ["build_parser", "main"]
 
@@ -104,6 +109,34 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="artifact cache directory; completed shards are reused across runs",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default=None,
+        help=(
+            "simulator kernel for every shard (both kernels are "
+            "bit-identical; default: the simulator default, vectorized)"
+        ),
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=list(DTYPES),
+        default=None,
+        help=(
+            "simulator state dtype for every shard: float64 (default, "
+            "exact) or float32 (half the memory, statistically equivalent)"
+        ),
+    )
+
+
+def _kernel_axes(args: argparse.Namespace) -> dict:
+    """Single-value grid axes implied by ``--kernel``/``--dtype`` flags."""
+    axes = {}
+    if args.kernel is not None:
+        axes["kernel"] = [args.kernel]
+    if args.dtype is not None:
+        axes["dtype"] = [args.dtype]
+    return axes
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -312,12 +345,21 @@ def _run_orchestrated(
     intra_jobs: int,
     cache_dir: Optional[str],
     csv_path: Optional[str],
+    kernel_axes: Optional[dict] = None,
 ) -> int:
-    from repro.runner import ArtifactCache, SweepSpec, aggregate_report, run_sweep
+    from repro.runner import ArtifactCache, ParamGrid, SweepSpec, aggregate_report, run_sweep
 
-    spec = SweepSpec(experiment, replications=reps, base_seed=seed, scale=scale)
     cache = ArtifactCache(cache_dir) if cache_dir else None
     try:
+        spec = SweepSpec(experiment, replications=reps, base_seed=seed, scale=scale)
+        if kernel_axes:
+            # --kernel/--dtype pin shared kernel options for every shard;
+            # they ride as single-value grid axes so cache keys, derived
+            # seeds and aggregate rows all see the setting.
+            from repro.experiments import validate_sweep_config
+
+            validate_sweep_config(experiment, kernel_axes)
+            spec.grid = ParamGrid(kernel_axes)
         report = run_sweep(spec, jobs=jobs, cache=cache, progress=print, intra_jobs=intra_jobs)
         print(report.describe())
         print(report.summary_line())
@@ -335,13 +377,26 @@ def _run_orchestrated(
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    axes = _kernel_axes(args)
     if args.reps > 1 or args.jobs != 1 or args.intra_jobs != 1 or args.cache_dir:
         return _run_orchestrated(
             args.experiment, args.scale, args.seed, args.reps, args.jobs,
-            args.intra_jobs, args.cache_dir, args.csv,
+            args.intra_jobs, args.cache_dir, args.csv, kernel_axes=axes,
         )
     try:
-        result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+        if axes:
+            # Route through the point runner, which accepts the kernel and
+            # dtype axes (validated first, so non-simulator experiments
+            # fail with one clean message).
+            from repro.experiments import run_sweep_point, validate_sweep_config
+
+            validate_sweep_config(args.experiment, axes)
+            config = {name: values[0] for name, values in axes.items()}
+            result = run_sweep_point(
+                args.experiment, config, scale=args.scale, seed=args.seed
+            )
+        else:
+            result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
     except KeyError as error:
         return _print_error(error)
     return _emit_result(result, args.csv)
@@ -357,13 +412,29 @@ def _build_sweep_spec(args: argparse.Namespace):
     """
     from repro.runner import ParamGrid, build_spec
 
-    return build_spec(
+    spec = build_spec(
         args.target,
         grid=ParamGrid.parse(args.param) if args.param else None,
         replications=args.reps,
         base_seed=args.seed,
         scale=args.scale,
     )
+    axes = _kernel_axes(args)
+    if axes:
+        # --kernel/--dtype pin the shared kernel options on every point of
+        # the sweep (including a named scenario's own grid) without
+        # clobbering the other axes; an explicit --param kernel=... axis
+        # is replaced by the flag.
+        from repro.experiments import validate_sweep_config
+
+        validate_sweep_config(spec.experiment_id, axes)
+        if isinstance(spec.grid, ParamGrid):
+            for name, values in axes.items():
+                spec.grid.add_axis(name, values)
+        else:
+            pinned = {name: values[0] for name, values in axes.items()}
+            spec.grid = [dict(config, **pinned) for config in spec.grid]
+    return spec
 
 
 def _command_sweep(args: argparse.Namespace) -> int:

@@ -172,10 +172,21 @@ class CreditMarket:
                 raise ValueError(f"spending_rates missing for peers {missing}")
             return mu
         for buyer in self._order:
-            total = 0.0
-            for seller, rate in self._chunk_rates[buyer].items():
-                price = self.pricing.price(seller, chunk_index=0, buyer_id=buyer)
-                total += rate * price
+            sellers = list(self._chunk_rates[buyer])
+            if sellers:
+                # One batched quote per buyer row (μ_i = Σ_j r_ji s_j);
+                # price_array preserves the per-seller call order, so
+                # memoising schemes (Poisson prices) draw identically to
+                # the historical scalar loop.
+                rates = np.fromiter(
+                    (self._chunk_rates[buyer][s] for s in sellers),
+                    dtype=float,
+                    count=len(sellers),
+                )
+                prices = self.pricing.price_array(sellers, 0)
+                total = float(rates @ prices)
+            else:
+                total = 0.0
             mu[self._index[buyer]] = total if total > 0 else self.pricing.mean_price()
         return mu
 
@@ -185,9 +196,19 @@ class CreditMarket:
         purchase_rates = np.zeros((n, n))
         for buyer in self._order:
             i = self._index[buyer]
-            for seller, rate in self._chunk_rates[buyer].items():
-                price = self.pricing.price(seller, chunk_index=0, buyer_id=buyer)
-                purchase_rates[i, self._index[seller]] = rate * price
+            sellers = list(self._chunk_rates[buyer])
+            if not sellers:
+                continue
+            rates = np.fromiter(
+                (self._chunk_rates[buyer][s] for s in sellers),
+                dtype=float,
+                count=len(sellers),
+            )
+            prices = self.pricing.price_array(sellers, 0)
+            columns = np.fromiter(
+                (self._index[s] for s in sellers), dtype=np.int64, count=len(sellers)
+            )
+            purchase_rates[i, columns] = rates * prices
         routing = RoutingMatrix.from_purchase_rates(purchase_rates)
         if self.reserve_fraction > 0:
             routing = routing.with_reserve_fraction(self.reserve_fraction)

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.experiments.common import ExperimentResult, Scale, scale_parameters
 from repro.p2psim.config import MarketSimConfig, StreamingSimConfig, UtilizationMode
+from repro.p2psim.options import KernelOptions
 from repro.p2psim.market_sim import CreditMarketSimulator
 from repro.p2psim.streaming_sim import StreamingMarketSimulator
 from repro.utils.records import ResultTable, SeriesRecord
@@ -45,6 +46,7 @@ SWEEP_PARAMS = (
     "num_snapshots",
     "simulator",
     "kernel",
+    "dtype",
 )
 
 
@@ -70,6 +72,7 @@ def run_point(
     num_snapshots: int | None = None,
     simulator: str = "market",
     kernel: str | None = None,
+    dtype: str | None = None,
 ) -> ExperimentResult:
     """Run one convergence study as a sweep shard.
 
@@ -79,9 +82,10 @@ def run_point(
     several observation windows, sweeping ``num_peers`` its size
     sensitivity.  ``simulator="streaming"`` runs the chunk-level streaming
     market instead of the transaction-level one (Sec. VI-A's actual
-    setting), and ``kernel`` selects the batched (``"vectorized"``) or
+    setting), ``kernel`` selects the batched (``"vectorized"``) or
     per-peer (``"loop"``) round implementation of either simulator — both
-    kernels produce bit-identical results.
+    kernels produce bit-identical results — and ``dtype`` the state
+    representation (``float64``/``float32``).
     """
     simulator = str(simulator)
     if simulator not in SIMULATORS:
@@ -121,7 +125,7 @@ def run_point(
             horizon=horizon,
             sample_interval=max(1.0, horizon / 200.0),
             seed=seed,
-            **({} if kernel is None else {"kernel": str(kernel)}),
+            options=KernelOptions.resolve(kernel=kernel, dtype=dtype),
         )
         result = StreamingMarketSimulator.run_config(
             streaming_config, snapshot_times=early_times + late_times
@@ -135,7 +139,7 @@ def run_point(
             utilization=UtilizationMode.SYMMETRIC,
             sample_interval=max(params["step"], horizon / 200.0),
             seed=seed,
-            **({} if kernel is None else {"kernel": str(kernel)}),
+            options=KernelOptions.resolve(kernel=kernel, dtype=dtype),
         )
         result = CreditMarketSimulator.run_config(
             config, snapshot_times=early_times + late_times
@@ -158,7 +162,7 @@ def run_point(
             series.append(curve)
 
     metadata = dict(
-        params, scale=str(scale), seed=seed, simulator=simulator, kernel=kernel
+        params, scale=str(scale), seed=seed, simulator=simulator, kernel=kernel, dtype=dtype
     )
     table = ResultTable(title=TITLE, metadata=metadata)
     table.add_row(

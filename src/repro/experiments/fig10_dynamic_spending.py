@@ -13,6 +13,7 @@ from repro.core.spending import DynamicSpendingPolicy, FixedSpendingPolicy
 from repro.experiments.common import ExperimentResult, Scale, scale_parameters
 from repro.p2psim.config import MarketSimConfig, UtilizationMode
 from repro.p2psim.market_sim import CreditMarketSimulator
+from repro.p2psim.options import KernelOptions
 from repro.utils.records import ResultTable
 
 __all__ = ["run", "run_point", "SPENDING_POLICIES"]
@@ -24,7 +25,15 @@ TITLE = "Fig. 10 — static vs dynamic spending rates"
 SPENDING_POLICIES = ("fixed", "dynamic")
 
 #: Parameters `run_point` accepts as sweep axes.
-SWEEP_PARAMS = ("spending_policy", "wealth_threshold", "initial_credits", "num_peers", "horizon")
+SWEEP_PARAMS = (
+    "spending_policy",
+    "wealth_threshold",
+    "initial_credits",
+    "num_peers",
+    "horizon",
+    "kernel",
+    "dtype",
+)
 
 
 def _scale_params(scale: str) -> dict:
@@ -36,7 +45,14 @@ def _scale_params(scale: str) -> dict:
     )
 
 
-def _run_policy(params: dict, policy, label: str, seed: int) -> dict:
+def _run_policy(
+    params: dict,
+    policy,
+    label: str,
+    seed: int,
+    kernel: str | None = None,
+    dtype: str | None = None,
+) -> dict:
     """Run one spending-policy market and summarise it."""
     config = MarketSimConfig(
         num_peers=params["num_peers"],
@@ -47,6 +63,7 @@ def _run_policy(params: dict, policy, label: str, seed: int) -> dict:
         spending_policy=policy,
         sample_interval=max(params["step"], params["horizon"] / 100.0),
         seed=seed,
+        options=KernelOptions.resolve(kernel=kernel, dtype=dtype),
     )
     result = CreditMarketSimulator.run_config(config)
     gini_series = result.recorder.gini_series
@@ -70,6 +87,8 @@ def run_point(
     initial_credits: float | None = None,
     num_peers: int | None = None,
     horizon: float | None = None,
+    kernel: str | None = None,
+    dtype: str | None = None,
 ) -> ExperimentResult:
     """Run one spending-policy grid point of the Fig. 10 study.
 
@@ -77,7 +96,9 @@ def run_point(
     (wealth-proportional adjustment above ``wealth_threshold``, the
     paper's ``m``); the threshold defaults to the initial wealth as in the
     paper.  Initial wealth, population and horizon default to the scale
-    preset.
+    preset.  ``kernel`` selects the round implementation (``vectorized``/
+    ``loop``, bit-identical) and ``dtype`` the state representation
+    (``float64``/``float32``).
     """
     params = _scale_params(scale)
     if num_peers is not None:
@@ -107,13 +128,15 @@ def run_point(
             f"known policies: {', '.join(SPENDING_POLICIES)}"
         )
 
-    outcome = _run_policy(params, policy, label, seed)
+    outcome = _run_policy(params, policy, label, seed, kernel=kernel, dtype=dtype)
     metadata = dict(
         params,
         scale=str(scale),
         seed=seed,
         spending_policy=spending_policy,
         spending_threshold_m=wealth_threshold,
+        kernel=kernel,
+        dtype=dtype,
     )
     table = ResultTable(title=TITLE, metadata=metadata)
     table.add_row(**outcome["row"])

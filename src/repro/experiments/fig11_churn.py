@@ -26,6 +26,7 @@ from typing import Optional
 from repro.experiments.common import ExperimentResult, Scale, scale_parameters
 from repro.overlay.churn import ChurnConfig
 from repro.p2psim.config import MarketSimConfig, StreamingSimConfig, UtilizationMode
+from repro.p2psim.options import KernelOptions
 from repro.p2psim.market_sim import CreditMarketSimulator
 from repro.p2psim.streaming_sim import StreamingMarketSimulator
 from repro.utils.records import ResultTable
@@ -47,6 +48,7 @@ SWEEP_PARAMS = (
     "horizon",
     "simulator",
     "kernel",
+    "dtype",
 )
 
 
@@ -60,6 +62,7 @@ def run_point(
     horizon: float | None = None,
     simulator: str = "market",
     kernel: str | None = None,
+    dtype: str | None = None,
 ) -> ExperimentResult:
     """Run one churn setting of the Fig. 11 study as a sweepable grid point.
 
@@ -71,7 +74,8 @@ def run_point(
     streaming market under churn instead of the transaction-level one, and
     ``kernel`` selects either simulator's batched (``"vectorized"``) or
     per-peer (``"loop"``) round implementation — bit-identical results
-    either way.
+    either way — while ``dtype`` picks the state representation
+    (``float64``/``float32``).
     """
     simulator = str(simulator)
     if simulator not in SIMULATORS:
@@ -110,7 +114,9 @@ def run_point(
         churn = ChurnConfig(arrival_rate=rate, mean_lifespan=mean_lifespan)
         label = f"lifespan={mean_lifespan:.0f}s, arr. rate={rate:.2g}/s"
 
-    outcome = _run_single(params, churn, label, seed, simulator=simulator, kernel=kernel)
+    outcome = _run_single(
+        params, churn, label, seed, simulator=simulator, kernel=kernel, dtype=dtype
+    )
     metadata = dict(
         params,
         scale=str(scale),
@@ -120,6 +126,7 @@ def run_point(
         rate_factor=float(rate_factor),
         simulator=simulator,
         kernel=kernel,
+        dtype=dtype,
     )
     table = ResultTable(title=TITLE, metadata=metadata)
     table.add_row(
@@ -148,9 +155,10 @@ def _run_single(
     seed: int,
     simulator: str = "market",
     kernel: str | None = None,
+    dtype: str | None = None,
 ) -> dict:
     """Run one churn setting and summarise it."""
-    kernel_kw = {} if kernel is None else {"kernel": str(kernel)}
+    options = KernelOptions.resolve(kernel=kernel, dtype=dtype)
     if simulator == "streaming":
         streaming_config = StreamingSimConfig(
             num_peers=params["num_peers"],
@@ -159,7 +167,7 @@ def _run_single(
             churn=churn,
             sample_interval=max(1.0, params["horizon"] / 80.0),
             seed=seed,
-            **kernel_kw,
+            options=options,
         )
         result = StreamingMarketSimulator.run_config(streaming_config)
     else:
@@ -172,7 +180,7 @@ def _run_single(
             churn=churn,
             sample_interval=max(params["step"], params["horizon"] / 80.0),
             seed=seed,
-            **kernel_kw,
+            options=options,
         )
         result = CreditMarketSimulator.run_config(config)
     gini_series = result.recorder.gini_series

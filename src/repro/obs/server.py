@@ -105,7 +105,7 @@ class SweepJob:
     def __init__(
         self,
         job_id: str,
-        spec: object,
+        spec: "SweepSpec",
         jobs: int,
         intra_jobs: int,
         cache_dir: Optional[str],
@@ -128,8 +128,8 @@ class SweepJob:
         """JSON-safe description for ``/runs`` and ``/runs/<id>``."""
         description: Dict[str, object] = {
             "id": self.id,
-            "spec": self.spec.describe(),  # type: ignore[attr-defined]
-            "experiment_id": self.spec.experiment_id,  # type: ignore[attr-defined]
+            "spec": self.spec.describe(),
+            "experiment_id": self.spec.experiment_id,
             "status": self.status,
             "jobs": self.jobs,
             "intra_jobs": self.intra_jobs,

@@ -19,19 +19,25 @@ detail:
 
 Both simulators advance in synchronous rounds over slot-indexed arrays,
 offer bit-identical ``"vectorized"`` / ``"loop"`` kernels for their hot
-round (see each config's ``kernel`` field), partition into checkpointed
-round-blocks (:mod:`repro.runner.partition`), and share the
+round (selected by the shared
+:class:`~repro.p2psim.options.KernelOptions`), partition into
+checkpointed round-blocks (:mod:`repro.runner.partition`), and share the
 :class:`~repro.p2psim.recorder.WealthRecorder` for Gini / snapshot time
-series.
+series.  The round-block contract both satisfy is formalised as the
+:class:`Simulator` protocol below.
 """
 
+from typing import Any, Protocol, runtime_checkable
+
 from repro.p2psim.config import MarketSimConfig, StreamingSimConfig, UtilizationMode
+from repro.p2psim.options import KernelOptions
 from repro.p2psim.recorder import WealthRecorder
 from repro.p2psim.market_sim import CreditMarketSimulator, MarketSimResult
 from repro.p2psim.streaming_sim import StreamingMarketSimulator, StreamingSimResult
 
 __all__ = [
     "UtilizationMode",
+    "KernelOptions",
     "MarketSimConfig",
     "StreamingSimConfig",
     "WealthRecorder",
@@ -39,4 +45,43 @@ __all__ = [
     "MarketSimResult",
     "StreamingMarketSimulator",
     "StreamingSimResult",
+    "Simulator",
 ]
+
+
+@runtime_checkable
+class Simulator(Protocol):
+    """The round-block contract every round-based simulator satisfies.
+
+    A simulator exposes its configuration, the number of synchronous
+    rounds its horizon spans, an incremental ``advance_rounds`` and a
+    terminal ``finalize``; ``run()`` is by definition
+    ``advance_rounds(total_rounds())`` followed by ``finalize()``.
+
+    Two requirements are part of the contract but outside what a Protocol
+    can express:
+
+    * **Picklable state** — the entire simulator object must pickle after
+      any number of ``advance_rounds`` calls, because
+      :meth:`repro.runner.partition.BlockContext.run_simulation`
+      checkpoints it between round blocks (both narrow and default dtype
+      layouts must round-trip).
+    * **State-only determinism** — each round's random draws may depend
+      only on the simulator's state before the round, so a
+      pickle/unpickle boundary between rounds cannot change the
+      trajectory.
+    """
+
+    config: Any
+
+    def total_rounds(self) -> int:
+        """Number of rounds the configured horizon spans."""
+        ...
+
+    def advance_rounds(self, rounds: int) -> None:
+        """Advance the simulation by ``rounds`` rounds without finalising."""
+        ...
+
+    def finalize(self) -> Any:
+        """Record the final sample and assemble the run's result object."""
+        ...

@@ -3,16 +3,56 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.core.pricing import PricingScheme, UniformPricing
 from repro.core.spending import FixedSpendingPolicy, SpendingPolicy
 from repro.core.taxation import NoTax, TaxPolicy
 from repro.overlay.churn import ChurnConfig
-from repro.utils.validation import check_positive
+from repro.p2psim.options import KernelOptions
+from repro.utils.validation import (
+    check_exact_float_range,
+    check_index_capacity,
+    check_positive,
+)
 
 __all__ = ["UtilizationMode", "MarketSimConfig", "StreamingSimConfig"]
+
+
+def _resolve_kernel_options(config: "MarketSimConfig | StreamingSimConfig") -> None:
+    """Merge a config's deprecated ``kernel`` field into its ``options``.
+
+    Shared by both simulator configs: an explicitly passed legacy
+    ``kernel=...`` emits a :class:`DeprecationWarning` and overrides
+    ``options.kernel`` (the legacy field wins, matching what the caller
+    asked for); the field keeps the passed value, while configs built
+    through ``options`` leave it ``None`` — read ``options.kernel`` for
+    the effective setting.  Narrow-dtype configurations are validated
+    against the int32/float32 capacity guards here, where the population
+    size is known.
+    """
+    if not isinstance(config.options, KernelOptions):
+        raise TypeError("options must be a KernelOptions instance")
+    legacy = config.kernel
+    if legacy is not None:
+        warnings.warn(
+            f"{type(config).__name__}.kernel is deprecated; pass "
+            "options=KernelOptions(kernel=...) instead",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+        if legacy not in ("vectorized", "loop"):
+            raise ValueError("kernel must be 'vectorized' or 'loop'")
+        config.options = replace(config.options, kernel=legacy)
+    if config.options.is_narrow:
+        check_index_capacity(config.num_peers, config.options.index_dtype, "num_peers")
+        check_exact_float_range(
+            config.num_peers * config.initial_credits,
+            config.options.float_dtype,
+            "total initial credits (num_peers * initial_credits)",
+        )
 
 
 class UtilizationMode(enum.Enum):
@@ -74,13 +114,21 @@ class MarketSimConfig:
     warmup:
         Samples before this time are recorded but flagged as warm-up by the
         recorder's helpers.
+    options:
+        Shared kernel/dtype/telemetry switches (see
+        :class:`~repro.p2psim.options.KernelOptions`).  ``options.kernel``
+        selects the spending-round implementation: ``"vectorized"``
+        (default) routes every credit of a round through one batched
+        segmented-CSR kernel; ``"loop"`` walks spenders in a per-peer
+        Python loop.  Both kernels consume the same random draws and
+        produce bit-identical results — the loop kernel exists as the
+        throughput baseline the simulator benchmark
+        (``benchmarks/bench_simkernel.py``) compares against.
     kernel:
-        Spending-round implementation: ``"vectorized"`` (default) routes
-        every credit of a round through one batched array kernel;
-        ``"loop"`` walks spenders in a per-peer Python loop.  Both kernels
-        consume the same random draws and produce bit-identical results —
-        the loop kernel exists as the throughput baseline the simulator
-        benchmark (``benchmarks/bench_simkernel.py``) compares against.
+        Deprecated alias of ``options.kernel`` (one release of
+        backwards compatibility): passing it emits a
+        ``DeprecationWarning`` and overrides ``options.kernel``; after
+        construction it mirrors the effective value.
     seed:
         Base RNG seed.
     """
@@ -100,7 +148,8 @@ class MarketSimConfig:
     churn: Optional[ChurnConfig] = None
     sample_interval: float = 50.0
     warmup: float = 0.0
-    kernel: str = "vectorized"
+    options: KernelOptions = field(default_factory=KernelOptions)
+    kernel: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -115,10 +164,9 @@ class MarketSimConfig:
         check_positive(self.sample_interval, "sample_interval")
         if self.warmup < 0:
             raise ValueError("warmup must be non-negative")
-        if self.kernel not in ("vectorized", "loop"):
-            raise ValueError("kernel must be 'vectorized' or 'loop'")
         if self.topology_mean_degree >= self.num_peers:
             raise ValueError("topology_mean_degree must be smaller than num_peers")
+        _resolve_kernel_options(self)
 
 
 @dataclass
@@ -172,15 +220,20 @@ class StreamingSimConfig:
         the market simulator.
     sample_interval:
         Seconds between recorder samples.
+    options:
+        Shared kernel/dtype/telemetry switches (see
+        :class:`~repro.p2psim.options.KernelOptions`).  ``options.kernel``
+        selects the scheduling-round implementation: ``"vectorized"``
+        (default) stacks every alive peer's chunk-request routing —
+        candidate scoring, supplier choice, upload-slot admission — into
+        array operations over the whole swarm; ``"loop"`` walks peers and
+        window positions in a per-peer Python loop.  Both kernels consume
+        the same random draws and produce bit-identical results — the loop
+        kernel exists as the throughput baseline
+        ``benchmarks/bench_streamkernel.py`` compares against.
     kernel:
-        Scheduling-round implementation: ``"vectorized"`` (default) stacks
-        every alive peer's chunk-request routing — candidate scoring,
-        supplier choice, upload-slot admission — into array operations over
-        the whole swarm; ``"loop"`` walks peers and window positions in a
-        per-peer Python loop.  Both kernels consume the same random draws
-        and produce bit-identical results — the loop kernel exists as the
-        throughput baseline ``benchmarks/bench_streamkernel.py`` compares
-        against.
+        Deprecated alias of ``options.kernel`` (one release of backwards
+        compatibility), as in :class:`MarketSimConfig`.
     seed:
         Base RNG seed.
     """
@@ -204,7 +257,8 @@ class StreamingSimConfig:
     topology_mean_degree: float = 20.0
     churn: Optional[ChurnConfig] = None
     sample_interval: float = 30.0
-    kernel: str = "vectorized"
+    options: KernelOptions = field(default_factory=KernelOptions)
+    kernel: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -231,7 +285,6 @@ class StreamingSimConfig:
             raise ValueError("startup_chunks must be non-negative")
         if self.transfer_latency < 0:
             raise ValueError("transfer_latency must be non-negative")
-        if self.kernel not in ("vectorized", "loop"):
-            raise ValueError("kernel must be 'vectorized' or 'loop'")
         if self.topology_mean_degree >= self.num_peers:
             raise ValueError("topology_mean_degree must be smaller than num_peers")
+        _resolve_kernel_options(self)

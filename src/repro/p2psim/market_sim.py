@@ -33,36 +33,41 @@ from repro.p2psim.slots import apply_income_taxation, apply_round_churn
 from repro.queueing.routing import RoutingMatrix
 from repro.queueing.traffic import solve_traffic_equations
 from repro.utils.rng import make_rng
+from repro.utils.validation import check_index_capacity
 
 __all__ = ["MarketSimResult", "CreditMarketSimulator"]
 
 
 @dataclass
 class _RoutingPack:
-    """Alive peers' routing rows stacked into padded matrices.
+    """Alive peers' routing rows in CSR (segmented) layout — no padding.
 
-    Row ``i`` describes the peer in slot ``alive_slots[i]``: its first
-    ``degrees[i]`` columns of ``nbr`` hold neighbour slot indices and the
-    matching columns of ``cdf`` the cumulative routing probabilities
-    (normalised so the last real entry is exactly 1.0).  Padding columns
-    hold ``cdf = 2.0`` — no uniform draw in ``[0, 1)`` ever selects them.
+    Row ``r`` describes the peer in slot ``alive_slots[r]``: its routing
+    edges occupy positions ``row_start[r]:row_start[r+1]`` of the flat
+    edge arrays.  ``edge_dst`` holds neighbour slot indices and ``flat``
+    the segmented cumulative routing probabilities offset by ``3.0 * r``
+    (each row's CDF is normalised so its last entry is exactly 1.0, so row
+    ``r`` occupies values in ``(3r, 3r + 1]``).  The concatenation is
+    therefore one globally sorted vector, and a credit of spender row
+    ``r`` with uniform ``u`` routes to edge ``searchsorted(flat, u + 3r,
+    "right")`` — one batched binary search routes every credit of a round
+    against exactly the degree mass of the overlay, instead of the padded
+    ``N × max_degree`` matrices earlier revisions materialised (which made
+    a single scale-free hub cost its degree on *every* peer and capped the
+    population near 10^3).  Both kernels compare against the same ``flat``
+    values, so their routing decisions are bit-identical; ``flat`` stays
+    float64 under either dtype switch because float32 cannot resolve a CDF
+    against a ``3.0 * r`` offset once ``r`` is large (spacing 0.25 at
+    ``r ≈ 10^6``).
 
-    ``flat`` is ``cdf`` with ``3.0 * row`` added to row ``row`` and then
-    flattened: row ``r`` occupies values in ``[3r, 3r + 2]``, so the whole
-    matrix is one globally sorted vector and a credit of spender row ``r``
-    with uniform ``u`` routes to column ``searchsorted(flat, u + 3r,
-    "right") - r * width`` — one batched binary search routes every credit
-    of a round.  Both kernels compare against the same ``flat`` values, so
-    their routing decisions are bit-identical.
-
-    The pack is a pure cache derived from ``_neighbors``/``_probs``; any
+    The pack is a pure cache derived from ``_neighbors``/``_cdfs``; any
     membership or routing change drops it and the next round rebuilds it.
     """
 
     alive_slots: np.ndarray
     degrees: np.ndarray
-    nbr: np.ndarray
-    cdf: np.ndarray
+    row_start: np.ndarray
+    edge_dst: np.ndarray
     flat: np.ndarray
 
 
@@ -153,22 +158,29 @@ class CreditMarketSimulator:
         )
 
         # --- slot-based peer state -------------------------------------------------
+        options = config.options
+        float_dtype = options.float_dtype
         capacity = max(16, 2 * self.topology.num_peers)
+        if options.is_narrow:
+            check_index_capacity(capacity, options.index_dtype, "slot capacity")
         self._capacity = capacity
         self._alive = np.zeros(capacity, dtype=bool)
-        self._balance = np.zeros(capacity)
-        self._base_mu = np.zeros(capacity)
-        self._spent = np.zeros(capacity)
-        self._earned = np.zeros(capacity)
+        self._balance = np.zeros(capacity, dtype=float_dtype)
+        self._base_mu = np.zeros(capacity, dtype=float_dtype)
+        self._spent = np.zeros(capacity, dtype=float_dtype)
+        self._earned = np.zeros(capacity, dtype=float_dtype)
         self._slot_of: Dict[int, int] = {}
         self._peer_of: Dict[int, int] = {}
         self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
         self._neighbors: Dict[int, np.ndarray] = {}
-        self._probs: Dict[int, np.ndarray] = {}
+        self._cdfs: Dict[int, np.ndarray] = {}
         self._pack: Optional[_RoutingPack] = None
         # Per-round scratch buffers: `_income` accumulates the loop kernel's
         # transfers, `_zero_income` is the (never written) empty-round view —
         # both preallocated so the hot loop allocates nothing on quiet rounds.
+        # Incomes are integer transfer counts and stay float64 under either
+        # dtype switch: counts are exact in float64, so narrowing only the
+        # persistent state keeps both kernels' settlements identical.
         self._income = np.zeros(capacity)
         self._zero_income = np.zeros(capacity)
 
@@ -181,8 +193,20 @@ class CreditMarketSimulator:
 
         initial_peers = self.topology.peers()
         mu_by_peer = self._configure_spending_rates(initial_peers)
+        # Bulk admission: create every peer's state first, then derive each
+        # routing row exactly once.  Admitting with per-peer refresh would
+        # recompute every earlier neighbour's row on each admission —
+        # O(sum degree^2) Python work that dominated start-up well before
+        # the million-peer scale.  A row only depends on which of its own
+        # neighbours are admitted, so refresh-once-at-the-end produces
+        # bit-identical rows to the historical cascade.
         for peer in initial_peers:
-            self._admit(peer, mu_by_peer[peer])
+            self._admit(peer, mu_by_peer[peer], refresh=False)
+        for peer in initial_peers:
+            self._refresh_routing_row(peer)
+        # Build the routing pack eagerly: it is part of construction, not of
+        # the first advanced round (benchmarks time rounds, not set-up).
+        self._routing_pack()
 
     # ------------------------------------------------------------------ setup helpers
 
@@ -235,6 +259,10 @@ class CreditMarketSimulator:
 
     def _grow_capacity(self) -> None:
         new_capacity = self._capacity * 2
+        if self.config.options.is_narrow:
+            check_index_capacity(
+                new_capacity, self.config.options.index_dtype, "slot capacity"
+            )
         pad = new_capacity - self._capacity
 
         def extend(array: np.ndarray) -> np.ndarray:
@@ -250,8 +278,14 @@ class CreditMarketSimulator:
         self._free_slots = list(range(new_capacity - 1, self._capacity - 1, -1)) + self._free_slots
         self._capacity = new_capacity
 
-    def _admit(self, peer_id: int, spending_rate: float) -> int:
-        """Create simulator state for ``peer_id`` (already present in the topology)."""
+    def _admit(self, peer_id: int, spending_rate: float, refresh: bool = True) -> int:
+        """Create simulator state for ``peer_id`` (already present in the topology).
+
+        ``refresh=False`` skips the routing-row derivation (and the
+        re-derivation of already-admitted neighbours); the caller is then
+        responsible for refreshing every affected row — the bulk admission
+        path in ``__init__`` does this exactly once per peer.
+        """
         if not self._free_slots:
             self._grow_capacity()
         slot = self._free_slots.pop()
@@ -262,10 +296,11 @@ class CreditMarketSimulator:
         self._earned[slot] = 0.0
         self._slot_of[peer_id] = slot
         self._peer_of[slot] = peer_id
-        self._refresh_routing_row(peer_id)
-        for neighbor in self.topology.neighbors(peer_id):
-            if neighbor in self._slot_of:
-                self._refresh_routing_row(neighbor)
+        if refresh:
+            self._refresh_routing_row(peer_id)
+            for neighbor in self.topology.neighbors(peer_id):
+                if neighbor in self._slot_of:
+                    self._refresh_routing_row(neighbor)
         return slot
 
     def _evict(self, peer_id: int) -> None:
@@ -275,34 +310,49 @@ class CreditMarketSimulator:
         self._alive[slot] = False
         self._balance[slot] = 0.0
         self._neighbors.pop(slot, None)
-        self._probs.pop(slot, None)
+        self._cdfs.pop(slot, None)
         self._free_slots.append(slot)
         self._pack = None
 
     def _refresh_routing_row(self, peer_id: int) -> None:
-        """Recompute the neighbour list and routing probabilities of one peer."""
+        """Recompute the neighbour list and routing CDF of one peer.
+
+        The cumulative distribution is derived here (in float64, then
+        stored at the configured state dtype) rather than at pack-build
+        time: per-row ``cumsum`` keeps the exact historical float
+        sequence — a segmented cumsum over the concatenated edge array
+        would accumulate across rows and round differently — and moves the
+        O(degree) Python work out of the (benchmarked) round loop.
+        """
         slot = self._slot_of.get(peer_id)
         if slot is None:
             return
         self._pack = None
+        options = self.config.options
         neighbor_ids = [
             neighbor
             for neighbor in self.topology.neighbors(peer_id)
             if neighbor in self._slot_of
         ]
         if not neighbor_ids:
-            self._neighbors[slot] = np.empty(0, dtype=int)
-            self._probs[slot] = np.empty(0)
+            self._neighbors[slot] = np.empty(0, dtype=options.index_dtype)
+            self._cdfs[slot] = np.empty(0, dtype=options.float_dtype)
             return
-        weights = np.array(
-            [self.config.pricing.price(neighbor, chunk_index=0) for neighbor in neighbor_ids],
-            dtype=float,
+        weights = np.asarray(
+            self.config.pricing.price_array(neighbor_ids, 0), dtype=float
         )
         weights = np.clip(weights, 1e-12, None)
         self._neighbors[slot] = np.array(
-            [self._slot_of[neighbor] for neighbor in neighbor_ids], dtype=int
+            [self._slot_of[neighbor] for neighbor in neighbor_ids],
+            dtype=options.index_dtype,
         )
-        self._probs[slot] = weights / weights.sum()
+        probs = weights / weights.sum()
+        row_cdf = np.cumsum(probs)
+        # The last entry must be exactly 1.0 so every uniform draw in
+        # [0, 1) lands on a real neighbour despite cumsum rounding;
+        # dividing by the total guarantees it.
+        row_cdf /= row_cdf[-1]
+        self._cdfs[slot] = row_cdf.astype(options.float_dtype, copy=False)
 
     # ------------------------------------------------------------------ churn
 
@@ -322,48 +372,57 @@ class CreditMarketSimulator:
     # ------------------------------------------------------------------ main loop
 
     def _routing_pack(self) -> _RoutingPack:
-        """Return the padded routing matrices of the alive population.
+        """Return the CSR routing arrays of the alive population.
 
         Rebuilt lazily after any membership/routing change; on static
         overlays the pack is built once and reused for the whole run.
+        Memory and build time scale with the edge count, never with
+        ``N × max_degree``.
         """
         if self._pack is None:
             alive_slots = np.flatnonzero(self._alive)
             count = alive_slots.size
-            degrees = np.zeros(count, dtype=np.int64)
-            for row, slot in enumerate(alive_slots):
-                neighbors = self._neighbors.get(int(slot))
-                degrees[row] = 0 if neighbors is None else neighbors.size
-            max_degree = int(degrees.max()) if count else 0
-            nbr = np.zeros((count, max_degree), dtype=np.int64)
-            cdf = np.full((count, max_degree), 2.0)
-            for row, slot in enumerate(alive_slots):
-                degree = int(degrees[row])
-                if degree == 0:
-                    continue
-                row_cdf = np.cumsum(self._probs[int(slot)])
-                # The last real entry must be exactly 1.0 so every uniform
-                # draw in [0, 1) lands on a real neighbour despite cumsum
-                # rounding; dividing by the total guarantees it.
-                row_cdf /= row_cdf[-1]
-                nbr[row, :degree] = self._neighbors[int(slot)]
-                cdf[row, :degree] = row_cdf
-            flat = (cdf + 3.0 * np.arange(count)[:, None]).ravel()
-            self._pack = _RoutingPack(alive_slots, degrees, nbr, cdf, flat)
+            empty_nbr = np.empty(0, dtype=self.config.options.index_dtype)
+            rows = [self._neighbors.get(int(slot), empty_nbr) for slot in alive_slots]
+            degrees = np.fromiter(
+                (row.size for row in rows), dtype=np.int64, count=count
+            )
+            row_start = np.zeros(count + 1, dtype=np.int64)
+            np.cumsum(degrees, out=row_start[1:])
+            if count:
+                edge_dst = np.concatenate(rows)
+                edge_cdf = np.concatenate(
+                    [self._cdfs.get(int(slot), empty_nbr) for slot in alive_slots]
+                )
+            else:
+                edge_dst = empty_nbr
+                edge_cdf = np.empty(0)
+            # float64 offsets regardless of the state dtype: adding 3r to a
+            # float32 CDF stops resolving distinct probabilities once r is
+            # large, while a float64 add of a float32 cdf value is exact.
+            flat = edge_cdf.astype(np.float64, copy=False) + 3.0 * np.repeat(
+                np.arange(count, dtype=np.float64), degrees
+            )
+            self._pack = _RoutingPack(alive_slots, degrees, row_start, edge_dst, flat)
         return self._pack
 
     def _route_credits_vectorized(
         self, pack: _RoutingPack, spendable: np.ndarray, draws: np.ndarray
     ) -> np.ndarray:
-        """Route every credit of the round with one batched binary search."""
-        width = pack.cdf.shape[1]
+        """Route every credit of the round with one batched binary search.
+
+        The segmented CDF array is globally sorted (row ``r`` occupies
+        ``(3r, 3r + 1]``), so one ``searchsorted`` against the whole edge
+        array resolves every credit; entries of earlier rows are at most
+        ``3r - 2`` and can never capture row ``r``'s draws.
+        """
         rows = np.repeat(np.arange(pack.alive_slots.size), spendable)
-        hits = np.searchsorted(pack.flat, draws + 3.0 * rows, side="right") - rows * width
+        hits = np.searchsorted(pack.flat, draws + 3.0 * rows, side="right")
         # `u + 3r` can round up to exactly the row's final cdf value (e.g.
         # u = 1 - 2**-53 at row 1 rounds to 4.0), which would index one past
-        # the last real neighbour; clamp those ~ulp-probability draws onto it.
-        hits = np.minimum(hits, pack.degrees[rows] - 1)
-        destinations = pack.nbr[rows, hits]
+        # the row's last edge; clamp those ~ulp-probability draws onto it.
+        hits = np.minimum(hits, pack.row_start[rows + 1] - 1)
+        destinations = pack.edge_dst[hits]
         return np.bincount(destinations, minlength=self._capacity).astype(float)
 
     def _route_credits_loop(
@@ -372,12 +431,11 @@ class CreditMarketSimulator:
         """Per-spender routing loop (the benchmark baseline).
 
         Consumes the draws exactly like the vectorized kernel — the same
-        inverse-CDF search against the same routing-pack row values — so
-        both kernels produce bit-identical income vectors.
+        inverse-CDF search against the same edge-segment values — so both
+        kernels produce bit-identical income vectors.
         """
         income = self._income
         income.fill(0.0)
-        width = pack.cdf.shape[1]
         offset = 0
         for row in range(pack.alive_slots.size):
             to_spend = int(spendable[row])
@@ -385,10 +443,12 @@ class CreditMarketSimulator:
                 continue
             uniforms = draws[offset : offset + to_spend]
             offset += to_spend
-            row_flat = pack.flat[row * width : (row + 1) * width]
-            hits = np.searchsorted(row_flat, uniforms + 3.0 * row, side="right")
+            start = pack.row_start[row]
+            end = pack.row_start[row + 1]
+            segment = pack.flat[start:end]
+            hits = np.searchsorted(segment, uniforms + 3.0 * row, side="right")
             hits = np.minimum(hits, pack.degrees[row] - 1)
-            np.add.at(income, pack.nbr[row, hits], 1.0)
+            np.add.at(income, pack.edge_dst[start:end][hits], 1.0)
         return income
 
     def _spending_round(self, dt: float) -> None:
@@ -416,16 +476,17 @@ class CreditMarketSimulator:
         # timing is a pre-measured `timing()` event rather than a `span()`
         # context manager — roughly half the per-round instrumentation
         # cost, which the telemetry-overhead CI gate holds under 5%.
+        options = self.config.options
         emitter = get_emitter()
-        observing = emitter.enabled
+        observing = emitter.enabled and options.telemetry
         kernel_started = time.perf_counter() if observing else 0.0
-        if self.config.kernel == "loop":
+        if options.kernel == "loop":
             income = self._route_credits_loop(pack, spendable, draws)
         else:
             income = self._route_credits_vectorized(pack, spendable, draws)
         if observing:
             emitter.timing(
-                "market.kernel." + self.config.kernel,
+                "market.kernel." + options.kernel,
                 time.perf_counter() - kernel_started,
             )
         spent = spendable.astype(float)
@@ -450,7 +511,7 @@ class CreditMarketSimulator:
         because each round's draws depend only on the state before it.
         """
         dt = self.config.step
-        observing = get_emitter().enabled
+        observing = get_emitter().enabled and self.config.options.telemetry
         started = time.perf_counter() if observing else 0.0
         for _ in range(rounds):
             if self._time + 1e-9 >= self._next_sample:
@@ -476,11 +537,12 @@ class CreditMarketSimulator:
     def _record_sample(self) -> None:
         alive_slots = np.flatnonzero(self._alive)
         emitter = get_emitter()
-        before = len(self.recorder.gini_series.x) if emitter.enabled else 0
+        observing = emitter.enabled and self.config.options.telemetry
+        before = len(self.recorder.gini_series.x) if observing else 0
         self.recorder.record(self._time, self._balance[alive_slots])
         # Stream the freshly recorded sample (the recorder drops empty
         # populations, so only emit when it actually appended one).
-        if emitter.enabled and len(self.recorder.gini_series.x) > before:
+        if observing and len(self.recorder.gini_series.x) > before:
             emitter.point("market.gini", self._time, self.recorder.gini_series.y[-1])
             emitter.point(
                 "market.bankrupt_fraction", self._time, self.recorder.bankrupt_series.y[-1]

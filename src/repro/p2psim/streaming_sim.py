@@ -74,6 +74,7 @@ from repro.p2psim.config import StreamingSimConfig
 from repro.p2psim.recorder import WealthRecorder
 from repro.p2psim.slots import apply_income_taxation, apply_round_churn
 from repro.utils.rng import make_rng
+from repro.utils.validation import check_index_capacity
 
 __all__ = ["StreamingSimResult", "StreamingMarketSimulator"]
 
@@ -82,18 +83,26 @@ __all__ = ["StreamingSimResult", "StreamingMarketSimulator"]
 _EPS = 1e-12
 
 
+#: Upper bound on the edge mass a single segmented-expansion block of the
+#: vectorized scheduling kernel materialises at once.  Supplier choice is
+#: independent per candidate cell, so processing cells in bounded blocks is
+#: exact while capping the kernel's transient memory at a few hundred MB
+#: even for 10^5–10^6-peer swarms.
+_EDGE_BLOCK = 1 << 22
+
+
 @dataclass
 class _StreamPack:
-    """Alive peers' neighbour rows, both padded and flattened.
+    """Alive peers' neighbour rows in CSR (segmented) layout — no padding.
 
-    Row ``r`` describes the peer in slot ``alive_slots[r]``: its first
-    ``degrees[r]`` columns of ``nbr`` hold neighbour slot indices in
-    ascending slot order (padding holds slot 0, ignored via ``degrees``).
-    ``edge_dst`` is the same adjacency flattened row-major —
-    ``edge_dst[row_start[r]:row_start[r+1]]`` are row ``r``'s neighbour
-    slots — which is what the vectorized kernel's segmented reductions
-    consume; a scale-free hub then costs its own degree instead of padding
-    every peer to the hub's degree.
+    Row ``r`` describes the peer in slot ``alive_slots[r]``:
+    ``edge_dst[row_start[r]:row_start[r+1]]`` are its neighbour slot
+    indices in ascending slot order.  Both kernels (and the stateful
+    settlement path) read neighbours from these edge segments; earlier
+    revisions also stacked a padded ``count × max_degree`` matrix, which
+    priced every peer at the maximum hub degree — prohibitive on a
+    scale-free overlay at large N, where a single 10^3-degree hub would
+    pad a million rows.
 
     The pack is a pure cache derived from the per-peer neighbour rows; any
     membership change drops it and the next tick rebuilds it.
@@ -101,10 +110,13 @@ class _StreamPack:
 
     alive_slots: np.ndarray
     degrees: np.ndarray
-    nbr: np.ndarray
     edge_dst: np.ndarray
     row_start: np.ndarray
     row_of: Dict[int, int]
+
+    def neighbors_of_row(self, row: int) -> np.ndarray:
+        """The neighbour-slot segment of pack row ``row`` (a view)."""
+        return self.edge_dst[self.row_start[row] : self.row_start[row + 1]]
 
 
 @dataclass
@@ -219,20 +231,24 @@ class StreamingMarketSimulator:
         self._emitted = 0
 
         # --- slot-based peer state -------------------------------------------------
+        options = config.options
+        float_dtype = options.float_dtype
         capacity = max(16, 2 * self.topology.num_peers)
+        if options.is_narrow:
+            check_index_capacity(capacity, options.index_dtype, "slot capacity")
         self._capacity = capacity
         self._alive = np.zeros(capacity, dtype=bool)
-        self._balance = np.zeros(capacity)
-        self._spent_win = np.zeros(capacity)
-        self._earned_win = np.zeros(capacity)
-        self._uploads_total = np.zeros(capacity)
+        self._balance = np.zeros(capacity, dtype=float_dtype)
+        self._spent_win = np.zeros(capacity, dtype=float_dtype)
+        self._earned_win = np.zeros(capacity, dtype=float_dtype)
+        self._uploads_total = np.zeros(capacity, dtype=float_dtype)
         self._played = np.zeros(capacity, dtype=np.int64)
         self._missed = np.zeros(capacity, dtype=np.int64)
         self._pb_next = np.zeros(capacity, dtype=np.int64)
         self._pb_started = np.zeros(capacity, dtype=bool)
-        self._pb_backlog = np.zeros(capacity)
+        self._pb_backlog = np.zeros(capacity, dtype=float_dtype)
         self._have = np.zeros((capacity, self._win_width), dtype=bool)
-        self._price_win = np.zeros((capacity, self._win_width))
+        self._price_win = np.zeros((capacity, self._win_width), dtype=float_dtype)
         self._slot_of: Dict[int, int] = {}
         self._peer_of: Dict[int, int] = {}
         self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
@@ -262,8 +278,19 @@ class StreamingMarketSimulator:
         self._next_sample = 0.0
         self._measure_start = config.horizon / 2.0
 
-        for peer_id in self.topology.peers():
-            self._admit(peer_id)
+        # Bulk admission: create every peer's state first, then derive each
+        # compacted neighbour row exactly once — the per-admission refresh
+        # cascade is O(sum degree^2) Python work, quadratic in the mean
+        # degree, and dominated start-up well below the million-peer scale.
+        # A row only depends on which of its own neighbours are admitted,
+        # so refresh-once-at-the-end yields bit-identical rows.
+        initial_peers = self.topology.peers()
+        for peer_id in initial_peers:
+            self._admit(peer_id, refresh=False)
+        for peer_id in initial_peers:
+            self._refresh_neighbors(peer_id)
+        # Build the stream pack eagerly: construction cost, not tick cost.
+        self._stream_pack()
 
     # ------------------------------------------------------------------ clock helpers
 
@@ -306,14 +333,21 @@ class StreamingMarketSimulator:
         self._have = np.vstack(
             [self._have, np.zeros((pad, self._win_width), dtype=bool)]
         )
-        self._price_win = np.vstack([self._price_win, np.zeros((pad, self._win_width))])
+        self._price_win = np.vstack(
+            [self._price_win, np.zeros((pad, self._win_width), dtype=self._price_win.dtype)]
+        )
         self._free_slots = (
             list(range(new_capacity - 1, self._capacity - 1, -1)) + self._free_slots
         )
         self._capacity = new_capacity
 
-    def _admit(self, peer_id: int) -> int:
-        """Create simulator state for ``peer_id`` (already present in the topology)."""
+    def _admit(self, peer_id: int, refresh: bool = True) -> int:
+        """Create simulator state for ``peer_id`` (already present in the topology).
+
+        ``refresh=False`` skips the neighbour-row derivation (and the
+        re-derivation of already-admitted neighbours); the bulk admission
+        path in ``__init__`` refreshes every row exactly once instead.
+        """
         if not self._free_slots:
             self._grow_capacity()
         slot = self._free_slots.pop()
@@ -333,10 +367,11 @@ class StreamingMarketSimulator:
         self._slot_of[peer_id] = slot
         self._peer_of[slot] = peer_id
         self._fill_price_row(slot)
-        self._refresh_neighbors(peer_id)
-        for neighbor in self.topology.neighbors(peer_id):
-            if neighbor in self._slot_of:
-                self._refresh_neighbors(neighbor)
+        if refresh:
+            self._refresh_neighbors(peer_id)
+            for neighbor in self.topology.neighbors(peer_id):
+                if neighbor in self._slot_of:
+                    self._refresh_neighbors(neighbor)
         return slot
 
     def _evict(self, peer_id: int) -> None:
@@ -373,34 +408,31 @@ class StreamingMarketSimulator:
             for neighbor in self.topology.neighbors(peer_id)
             if neighbor in self._slot_of
         )
-        self._neighbors[slot] = np.array(neighbor_slots, dtype=np.int64)
+        self._neighbors[slot] = np.array(
+            neighbor_slots, dtype=self.config.options.index_dtype
+        )
 
     def _stream_pack(self) -> _StreamPack:
-        """Return the padded neighbour matrix of the alive population.
+        """Return the CSR neighbour arrays of the alive population.
 
         Rebuilt lazily after any membership change; on static overlays the
-        pack is built once and reused for the whole run.
+        pack is built once and reused for the whole run.  Memory scales
+        with the edge count, never with ``N × max_degree``.
         """
         if self._pack is None:
             alive_slots = np.flatnonzero(self._alive)
             count = alive_slots.size
-            rows = [
-                self._neighbors.get(int(slot), np.empty(0, dtype=np.int64))
-                for slot in alive_slots
-            ]
-            degrees = np.array([row.size for row in rows], dtype=np.int64)
-            max_degree = max(1, int(degrees.max()) if count else 1)
-            nbr = np.zeros((count, max_degree), dtype=np.int64)
-            for row_index, row in enumerate(rows):
-                if row.size:
-                    nbr[row_index, : row.size] = row
-            edge_dst = (
-                np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
-            ).astype(np.int64)
+            index_dtype = self.config.options.index_dtype
+            empty_row = np.empty(0, dtype=index_dtype)
+            rows = [self._neighbors.get(int(slot), empty_row) for slot in alive_slots]
+            degrees = np.fromiter(
+                (row.size for row in rows), dtype=np.int64, count=count
+            )
+            edge_dst = np.concatenate(rows) if rows else empty_row
             row_start = np.zeros(count + 1, dtype=np.int64)
             np.cumsum(degrees, out=row_start[1:])
             row_of = {int(slot): row for row, slot in enumerate(alive_slots)}
-            self._pack = _StreamPack(alive_slots, degrees, nbr, edge_dst, row_start, row_of)
+            self._pack = _StreamPack(alive_slots, degrees, edge_dst, row_start, row_of)
         return self._pack
 
     # ------------------------------------------------------------------ churn
@@ -521,42 +553,61 @@ class StreamingMarketSimulator:
             seg_len = pack.degrees[cand_rows]
             starts = np.zeros(cells + 1, dtype=np.int64)
             np.cumsum(seg_len, out=starts[1:])
-            total = int(starts[-1])
-            cell_of = np.repeat(np.arange(cells), seg_len)
-            edge_pos = (
-                np.repeat(pack.row_start[cand_rows], seg_len)
-                + np.arange(total)
-                - np.repeat(starts[:-1], seg_len)
-            )
-            dst = pack.edge_dst[edge_pos]
-            cell_col = cand_cols[cell_of]
-            eligible = self._have[dst, cell_col]
-
-            choice = config.supplier_choice
-            if choice == "least-loaded":
-                score = np.where(eligible, self._uploads_total[dst], np.inf)
-                best = np.minimum.reduceat(score, starts[:-1])
-                tie = eligible & (score <= np.repeat(best, seg_len) + _EPS)
-            elif choice == "cheapest":
-                score = np.where(eligible, self._price_win[dst, cell_col], np.inf)
-                best = np.minimum.reduceat(score, starts[:-1])
-                tie = eligible & (score <= np.repeat(best, seg_len) + _EPS)
-            else:  # availability
-                tie = eligible
-            tie_int = tie.astype(np.int64)
-            tie_count = np.add.reduceat(tie_int, starts[:-1])
-            pick = np.floor(uniforms[cand_rows, cand_ws] * tie_count).astype(np.int64)
-            pick = np.minimum(pick, tie_count - 1)  # u*cnt can round up to cnt
-            # Inclusive tie rank within each cell's segment: the chosen
-            # supplier is the (pick+1)-th tie in neighbour order — exactly
-            # the loop kernel's ``ties[pick]``.
-            cum = np.cumsum(tie_int)
-            rank = cum - np.repeat(cum[starts[:-1]] - tie_int[starts[:-1]], seg_len)
-            match = tie & (rank == np.repeat(pick + 1, seg_len))
             chosen = np.zeros(cells, dtype=np.int64)
             resolved = np.zeros(cells, dtype=bool)
-            chosen[cell_of[match]] = dst[match]
-            resolved[cell_of[match]] = True
+            choice = config.supplier_choice
+            # Candidate cells are independent, so the edge-segment expansion
+            # runs in blocks of at most ~_EDGE_BLOCK edges: exact results,
+            # bounded transient memory (a full expansion at 10^6 peers would
+            # otherwise materialise hundreds of millions of entries).
+            lo_cell = 0
+            while lo_cell < cells:
+                hi_cell = int(
+                    np.searchsorted(
+                        starts, starts[lo_cell] + _EDGE_BLOCK, side="right"
+                    )
+                ) - 1
+                hi_cell = min(max(hi_cell, lo_cell + 1), cells)
+                block = slice(lo_cell, hi_cell)
+                n_cells = hi_cell - lo_cell
+                seg = seg_len[block]
+                bstarts = starts[lo_cell : hi_cell + 1] - starts[lo_cell]
+                total = int(bstarts[-1])
+                cell_of = np.repeat(np.arange(n_cells), seg)
+                edge_pos = (
+                    np.repeat(pack.row_start[cand_rows[block]], seg)
+                    + np.arange(total)
+                    - np.repeat(bstarts[:-1], seg)
+                )
+                dst = pack.edge_dst[edge_pos]
+                cell_col = cand_cols[block][cell_of]
+                eligible = self._have[dst, cell_col]
+
+                if choice == "least-loaded":
+                    score = np.where(eligible, self._uploads_total[dst], np.inf)
+                    best = np.minimum.reduceat(score, bstarts[:-1])
+                    tie = eligible & (score <= np.repeat(best, seg) + _EPS)
+                elif choice == "cheapest":
+                    score = np.where(eligible, self._price_win[dst, cell_col], np.inf)
+                    best = np.minimum.reduceat(score, bstarts[:-1])
+                    tie = eligible & (score <= np.repeat(best, seg) + _EPS)
+                else:  # availability
+                    tie = eligible
+                tie_int = tie.astype(np.int64)
+                tie_count = np.add.reduceat(tie_int, bstarts[:-1])
+                pick = np.floor(
+                    uniforms[cand_rows[block], cand_ws[block]] * tie_count
+                ).astype(np.int64)
+                pick = np.minimum(pick, tie_count - 1)  # u*cnt can round up to cnt
+                # Inclusive tie rank within each cell's segment: the chosen
+                # supplier is the (pick+1)-th tie in neighbour order — exactly
+                # the loop kernel's ``ties[pick]``.
+                cum = np.cumsum(tie_int)
+                rank = cum - np.repeat(cum[bstarts[:-1]] - tie_int[bstarts[:-1]], seg)
+                match = tie & (rank == np.repeat(pick + 1, seg))
+                chosen[lo_cell + cell_of[match]] = dst[match]
+                resolved[lo_cell + cell_of[match]] = True
+                lo_cell = hi_cell
             rows_ok = cand_rows[resolved]
             ws_ok = cand_ws[resolved]
             supplier[rows_ok, ws_ok] = chosen[resolved]
@@ -643,7 +694,7 @@ class StreamingMarketSimulator:
             degree = int(pack.degrees[row])
             if degree == 0:
                 continue
-            neighbors = pack.nbr[row, :degree]
+            neighbors = pack.neighbors_of_row(row)
             playback_point = int(self._pb_next[slot])
             budget = float(balances[row])
             requests = 0
@@ -733,11 +784,10 @@ class StreamingMarketSimulator:
                     buyer_id = self._peer_of[buyer_slot]
                     seller_id = self._peer_of[seller_slot]
                     row = pack.row_of[buyer_slot]
-                    degree = int(pack.degrees[row])
                     col = int(index) - base
                     competing = [
                         self._peer_of[int(s)]
-                        for s in pack.nbr[row, :degree]
+                        for s in pack.neighbors_of_row(row)
                         if self._have[int(s), col]
                     ]
                     price = float(
@@ -863,7 +913,7 @@ class StreamingMarketSimulator:
         dt = config.scheduling_interval
         stateful_pricing = config.pricing.is_stateful()
         emitter = get_emitter()
-        observing = emitter.enabled
+        observing = emitter.enabled and config.options.telemetry
         started = time.perf_counter() if observing else 0.0
         for _ in range(rounds):
             if self.now + 1e-9 >= self._next_sample:
@@ -890,23 +940,18 @@ class StreamingMarketSimulator:
         pack = self._stream_pack()
         balances = self._balance[pack.alive_slots]
         uniforms = self._rng.random((pack.alive_slots.size, config.playback_window))
+        options = config.options
+        kernel = (
+            self._schedule_loop if options.kernel == "loop" else self._schedule_vectorized
+        )
         emitter = get_emitter()
-        if emitter.enabled:
-            with emitter.span("streaming.kernel." + config.kernel):
-                if config.kernel == "loop":
-                    buyers, sellers, chunk_abs, prices = self._schedule_loop(
-                        pack, balances, uniforms, self._win_base, self._emitted - 1
-                    )
-                else:
-                    buyers, sellers, chunk_abs, prices = self._schedule_vectorized(
-                        pack, balances, uniforms, self._win_base, self._emitted - 1
-                    )
-        elif config.kernel == "loop":
-            buyers, sellers, chunk_abs, prices = self._schedule_loop(
-                pack, balances, uniforms, self._win_base, self._emitted - 1
-            )
+        if emitter.enabled and options.telemetry:
+            with emitter.span("streaming.kernel." + options.kernel):
+                buyers, sellers, chunk_abs, prices = kernel(
+                    pack, balances, uniforms, self._win_base, self._emitted - 1
+                )
         else:
-            buyers, sellers, chunk_abs, prices = self._schedule_vectorized(
+            buyers, sellers, chunk_abs, prices = kernel(
                 pack, balances, uniforms, self._win_base, self._emitted - 1
             )
         self._settle(pack, buyers, sellers, chunk_abs, prices)
@@ -945,11 +990,12 @@ class StreamingMarketSimulator:
         order = self._peer_order()
         slots = np.array([self._slot_of[peer] for peer in order], dtype=np.int64)
         emitter = get_emitter()
-        before = len(self.recorder.gini_series.x) if emitter.enabled else 0
+        observing = emitter.enabled and self.config.options.telemetry
+        before = len(self.recorder.gini_series.x) if observing else 0
         self.recorder.record(self.now, self._balance[slots])
         # Stream the freshly recorded sample (the recorder drops empty
         # populations, so only emit when it actually appended one).
-        if emitter.enabled and len(self.recorder.gini_series.x) > before:
+        if observing and len(self.recorder.gini_series.x) > before:
             emitter.point("streaming.gini", self.now, self.recorder.gini_series.y[-1])
             emitter.point(
                 "streaming.bankrupt_fraction", self.now, self.recorder.bankrupt_series.y[-1]

@@ -54,9 +54,12 @@ import shutil
 import tempfile
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, cast
 
 from repro.obs import get_emitter
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.p2psim import Simulator
 
 __all__ = [
     "BlockContext",
@@ -313,12 +316,17 @@ class BlockContext:
 
     def run_simulation(
         self,
-        sim_cls: type,
+        sim_cls: "Callable[..., Simulator]",
         config: object,
         topology: object = None,
         snapshot_times: Optional[Sequence[float]] = None,
     ) -> object:
         """Run one round-block-capable simulation as checkpointed blocks.
+
+        ``sim_cls`` is a :class:`~repro.p2psim.Simulator` factory —
+        typically one of the simulator classes themselves; anything
+        satisfying the protocol (including its picklable-state
+        requirement) partitions identically.
 
         Restores the newest checkpoint of this simulation (identified by
         its ordinal position within the experiment), advances as many new
@@ -339,11 +347,11 @@ class BlockContext:
             return finalised
 
         completed = 0
-        simulator = None
+        simulator: Optional["Simulator"] = None
         for block in range(blocks, 0, -1):
             state = self._load(ordinal, block)
             if state is not None:
-                completed, simulator = block, state
+                completed, simulator = block, cast("Simulator", state)
                 break
         if simulator is None:
             if self.budget is not None and self.budget <= 0:

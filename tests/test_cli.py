@@ -190,3 +190,40 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "4 shards" in output
         assert "wealth_gini" in output
+
+    def test_run_accepts_kernel_and_dtype_flags(self, capsys):
+        argv = ["run", "fig10", "--scale", "smoke", "--kernel", "loop", "--dtype", "float64"]
+        assert main(argv) == 0
+        assert "stabilized_gini" in capsys.readouterr().out
+
+    def test_run_kernel_flag_rejected_for_analytic_experiment(self, capsys):
+        assert main(["run", "fig3", "--scale", "smoke", "--kernel", "loop"]) == 2
+        assert "unknown sweep parameter" in capsys.readouterr().err
+
+    def test_run_kernel_flag_is_bit_identical_to_default(self, capsys):
+        assert main(["run", "fig10", "--scale", "smoke"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", "fig10", "--scale", "smoke", "--kernel", "vectorized"]) == 0
+        flagged = capsys.readouterr().out
+        # Same simulated numbers, reported through the point-runner table.
+        for line in plain.splitlines():
+            if "dynamic" in line:
+                assert line in flagged
+
+    def test_sweep_kernel_flag_pins_axis_on_every_point(self, capsys):
+        argv = [
+            "sweep", "fig9", "--param", "tax_rate=0,0.2",
+            "--scale", "smoke", "--kernel", "loop",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "2 shards" in output
+        assert "loop" in output
+
+    def test_sweep_dtype_flag_rejected_for_analytic_experiment(self, capsys):
+        assert main(["sweep", "fig3", "--dtype", "float32", "--scale", "smoke"]) == 2
+        assert "unknown sweep parameter" in capsys.readouterr().err
+
+    def test_parser_rejects_unknown_kernel_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig10", "--kernel", "bogus"])

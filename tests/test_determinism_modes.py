@@ -23,7 +23,12 @@ import pytest
 from repro.core.spending import DynamicSpendingPolicy, FixedSpendingPolicy
 from repro.core.taxation import ThresholdIncomeTax
 from repro.overlay import ChurnConfig
-from repro.p2psim import CreditMarketSimulator, MarketSimConfig, UtilizationMode
+from repro.p2psim import (
+    CreditMarketSimulator,
+    KernelOptions,
+    MarketSimConfig,
+    UtilizationMode,
+)
 from repro.runner import (
     ParamGrid,
     SweepSpec,
@@ -96,9 +101,9 @@ class TestKernelEquivalence:
     def test_loop_and_vectorized_kernels_byte_identical(self, shape):
         config = CONFIG_FACTORIES[shape]()
         vectorized = CreditMarketSimulator.run_config(
-            dataclasses.replace(config, kernel="vectorized")
+            dataclasses.replace(config, options=KernelOptions(kernel="vectorized"))
         )
-        loop = CreditMarketSimulator.run_config(dataclasses.replace(config, kernel="loop"))
+        loop = CreditMarketSimulator.run_config(dataclasses.replace(config, options=KernelOptions(kernel="loop")))
         assert fingerprint(vectorized) == fingerprint(loop)
 
     def test_kernels_agree_under_churn_and_taxation(self):
@@ -107,9 +112,9 @@ class TestKernelEquivalence:
             tax_policy=ThresholdIncomeTax(rate=0.2, threshold=8.0),
         )
         vectorized = CreditMarketSimulator.run_config(
-            dataclasses.replace(config, kernel="vectorized")
+            dataclasses.replace(config, options=KernelOptions(kernel="vectorized"))
         )
-        loop = CreditMarketSimulator.run_config(dataclasses.replace(config, kernel="loop"))
+        loop = CreditMarketSimulator.run_config(dataclasses.replace(config, options=KernelOptions(kernel="loop")))
         assert vectorized.joins > 0 and vectorized.leaves > 0  # churn exercised
         assert fingerprint(vectorized) == fingerprint(loop)
 

@@ -21,6 +21,7 @@ from repro.obs import (
 )
 from repro.p2psim import (
     CreditMarketSimulator,
+    KernelOptions,
     MarketSimConfig,
     StreamingMarketSimulator,
     StreamingSimConfig,
@@ -37,7 +38,7 @@ def _market_config(kernel="vectorized", rounds=40):
         step=1.0,
         utilization=UtilizationMode.ASYMMETRIC,
         sample_interval=5.0,
-        kernel=kernel,
+        options=KernelOptions(kernel=kernel),
         seed=7,
     )
 
@@ -48,7 +49,7 @@ def _streaming_config(kernel="vectorized", ticks=30):
         initial_credits=80.0,
         horizon=float(ticks),
         sample_interval=5.0,
-        kernel=kernel,
+        options=KernelOptions(kernel=kernel),
         seed=7,
     )
 

@@ -141,3 +141,68 @@ class TestStructure:
         assert matrix[0, 1] == 1.0
         assert matrix[1, 0] == 1.0
         assert matrix[2].sum() == 0.0
+
+
+class TestBulkConstruction:
+    def test_from_edge_arrays_matches_from_edges(self):
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 50, size=300)
+        dst = rng.integers(0, 50, size=300)
+        bulk = OverlayTopology.from_edge_arrays(50, src, dst)
+        undirected = {
+            (min(int(u), int(v)), max(int(u), int(v)))
+            for u, v in zip(src, dst)
+            if u != v
+        }
+        reference = OverlayTopology.from_edges(50, sorted(undirected))
+        assert bulk.num_peers == reference.num_peers
+        assert bulk.num_edges == reference.num_edges
+        for peer in range(50):
+            assert bulk.neighbors(peer) == reference.neighbors(peer)
+
+    def test_from_edge_arrays_drops_self_loops_and_duplicates(self):
+        topo = OverlayTopology.from_edge_arrays(
+            4, np.array([0, 0, 1, 2, 3]), np.array([1, 1, 0, 2, 0])
+        )
+        assert topo.num_edges == 2  # {0,1} once, {2,2} dropped, {3,0} kept
+        assert topo.neighbors(0) == frozenset({1, 3})
+        assert topo.neighbors(2) == frozenset()
+
+    def test_from_edge_arrays_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            OverlayTopology.from_edge_arrays(3, np.array([0]), np.array([3]))
+        with pytest.raises(ValueError, match="length"):
+            OverlayTopology.from_edge_arrays(3, np.array([0, 1]), np.array([2]))
+
+    def test_from_edge_arrays_empty(self):
+        topo = OverlayTopology.from_edge_arrays(5, np.array([]), np.array([]))
+        assert topo.num_peers == 5
+        assert topo.num_edges == 0
+
+
+class TestCsrAdjacency:
+    def test_matches_dense_adjacency(self):
+        topo = OverlayTopology.from_edges(6, [(0, 1), (0, 2), (1, 2), (3, 4), (4, 5)])
+        row_start, col_indices = topo.csr_adjacency()
+        dense = topo.adjacency_matrix()
+        assert row_start.dtype == np.int64 and col_indices.dtype == np.int64
+        assert row_start[0] == 0 and row_start[-1] == col_indices.size == 2 * topo.num_edges
+        for row in range(6):
+            cols = col_indices[row_start[row] : row_start[row + 1]]
+            assert list(cols) == sorted(cols)  # ascending within each row
+            np.testing.assert_array_equal(np.flatnonzero(dense[row]), cols)
+
+    def test_respects_custom_order_and_ignores_outsiders(self):
+        topo = OverlayTopology.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        order = [3, 1, 2]  # peer 2's neighbours 1 and 3 -> positions 1 and 0
+        row_start, col_indices = topo.csr_adjacency(order)
+        dense = topo.adjacency_matrix(order)
+        for row in range(len(order)):
+            cols = col_indices[row_start[row] : row_start[row + 1]]
+            np.testing.assert_array_equal(np.flatnonzero(dense[row]), cols)
+
+    def test_isolated_peers_have_empty_rows(self):
+        topo = OverlayTopology.from_edges(3, [(0, 1)])
+        row_start, col_indices = topo.csr_adjacency()
+        assert row_start[2] == row_start[3]  # peer 2 has no neighbours
+        assert col_indices.size == 2

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.pricing import PerPeerFlatPricing, UniformPricing
 from repro.overlay.churn import ChurnConfig
-from repro.p2psim import StreamingMarketSimulator, StreamingSimConfig
+from repro.p2psim import KernelOptions, StreamingMarketSimulator, StreamingSimConfig
 
 
 def small_config(**overrides):
@@ -39,14 +39,22 @@ class TestConfigValidation:
 
     def test_rejects_unknown_kernel(self):
         with pytest.raises(ValueError, match="kernel"):
-            StreamingSimConfig(kernel="bogus")
+            StreamingSimConfig(options=KernelOptions(kernel="bogus"))
 
     def test_accepts_both_kernels_and_churn(self):
         churn = ChurnConfig(arrival_rate=0.5, mean_lifespan=100.0)
         for kernel in ("loop", "vectorized"):
-            config = StreamingSimConfig(kernel=kernel, churn=churn)
-            assert config.kernel == kernel
+            config = StreamingSimConfig(options=KernelOptions(kernel=kernel), churn=churn)
+            assert config.options.kernel == kernel
             assert config.churn is churn
+
+    def test_legacy_kernel_field_warns_and_overrides_options(self):
+        with pytest.warns(DeprecationWarning, match="KernelOptions"):
+            config = StreamingSimConfig(kernel="loop")
+        assert config.options.kernel == "loop"
+        with pytest.warns(DeprecationWarning, match="KernelOptions"):
+            with pytest.raises(ValueError, match="kernel"):
+                StreamingSimConfig(kernel="bogus")
 
 
 class TestStreamingRun:
@@ -274,10 +282,10 @@ class TestKernelParity:
     def test_loop_and_vectorized_deliver_identical_results(self):
         config = small_config()
         vectorized = StreamingMarketSimulator.run_config(
-            dataclasses.replace(config, kernel="vectorized")
+            dataclasses.replace(config, options=KernelOptions(kernel="vectorized"))
         )
         loop = StreamingMarketSimulator.run_config(
-            dataclasses.replace(config, kernel="loop")
+            dataclasses.replace(config, options=KernelOptions(kernel="loop"))
         )
         assert vectorized.final_wealths.tobytes() == loop.final_wealths.tobytes()
         assert vectorized.chunks_delivered == loop.chunks_delivered

@@ -24,7 +24,7 @@ import pytest
 from repro.core.pricing import PerPeerFlatPricing
 from repro.core.taxation import ThresholdIncomeTax
 from repro.overlay import ChurnConfig
-from repro.p2psim import StreamingMarketSimulator, StreamingSimConfig
+from repro.p2psim import KernelOptions, StreamingMarketSimulator, StreamingSimConfig
 from repro.runner import (
     SCENARIOS,
     aggregate_sweep,
@@ -104,10 +104,10 @@ class TestStreamingKernelEquivalence:
     def test_loop_and_vectorized_kernels_byte_identical(self, shape):
         config = CONFIG_FACTORIES[shape]()
         vectorized = StreamingMarketSimulator.run_config(
-            dataclasses.replace(config, kernel="vectorized")
+            dataclasses.replace(config, options=KernelOptions(kernel="vectorized"))
         )
         loop = StreamingMarketSimulator.run_config(
-            dataclasses.replace(config, kernel="loop")
+            dataclasses.replace(config, options=KernelOptions(kernel="loop"))
         )
         assert fingerprint(vectorized) == fingerprint(loop)
 
@@ -119,10 +119,10 @@ class TestStreamingKernelEquivalence:
     def test_supplier_policies_agree_across_kernels(self, choice):
         config = static_config(supplier_choice=choice, horizon=80.0)
         vectorized = StreamingMarketSimulator.run_config(
-            dataclasses.replace(config, kernel="vectorized")
+            dataclasses.replace(config, options=KernelOptions(kernel="vectorized"))
         )
         loop = StreamingMarketSimulator.run_config(
-            dataclasses.replace(config, kernel="loop")
+            dataclasses.replace(config, options=KernelOptions(kernel="loop"))
         )
         assert fingerprint(vectorized) == fingerprint(loop)
 
