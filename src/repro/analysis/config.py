@@ -161,6 +161,14 @@ def _scopes() -> Dict[str, Scope]:
         # modules that spawn threads; the analyzer itself is excluded.
         "THREAD001": Scope(include=simulation, exclude=("repro/analysis/",)),
         "THREAD002": Scope(include=simulation, exclude=("repro/analysis/",)),
+        # Shard-task purity: tasks submitted to run_shard_tasks must not
+        # mutate cross-shard state outside the boundary-exchange phase.
+        # Applies everywhere shard tasks can be built, including tests and
+        # benchmarks (a racy example would teach the racy idiom).
+        "SHARD001": Scope(
+            include=simulation + ("benchmarks/", "tests/"),
+            exclude=("repro/analysis/",),
+        ),
         # Sweep registry/scenario contract drift.
         "SWEEP001": Scope(include=simulation, exclude=("repro/analysis/",)),
         "SWEEP002": Scope(include=simulation, exclude=("repro/analysis/",)),

@@ -1,0 +1,276 @@
+"""SHARD001 — shard tasks must not mutate cross-shard state.
+
+Spatial sharding (:func:`repro.runner.shard.run_shard_tasks`) executes
+per-shard task callables concurrently inside one simulation round.  The
+byte-identity contract — a sharded run is indistinguishable from the
+monolithic one — holds only because every task is a pure function of its
+arguments: tasks *return* per-shard results and the caller merges them in
+deterministic shard order during the boundary-exchange phase at the round
+barrier.  A task that writes shared state directly (simulator attributes,
+enclosing-scope accumulators, module globals) races with its sibling
+shards, and the merge order — hence the result — starts depending on
+thread scheduling.
+
+SHARD001 flags, inside any callable submitted to ``run_shard_tasks``:
+
+* ``global`` / ``nonlocal`` declarations (a write is the only reason to
+  declare them);
+* assignments, augmented assignments and deletions targeting attributes
+  or subscripts rooted at ``self`` or at any name free in the task (names
+  captured from the enclosing scope or the module);
+* known mutating method calls (``append``, ``update``, ``fill``, ...) on
+  ``self`` attributes or free names.
+
+Writes to the task's own parameters and locals are never flagged: task
+arguments are per-shard by construction (the compliant idiom is
+``functools.partial(pure_module_function, per_shard_args...)``), so local
+mutation cannot cross a shard boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import FileContext, Finding, Rule, Severity, register
+
+__all__ = ["ShardTaskPurityRule"]
+
+#: Spellings of the shard-task executor the rule recognises.
+_RUN_SHARD_TASKS = {
+    "repro.runner.shard.run_shard_tasks",
+    "repro.runner.run_shard_tasks",
+}
+
+#: Method names that mutate their receiver in place.  Shared with the
+#: reviewer's intuition rather than exhaustive: a task calling any of
+#: these on state it does not own is racing its sibling shards.
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "add", "discard", "update", "setdefault", "popitem",
+    "appendleft", "extendleft", "popleft", "fill", "sort_indices",
+    "put", "partial_sort", "resize", "setfield", "itemset",
+}
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """The name at the base of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _local_names(func: ast.AST) -> Set[str]:
+    """Names bound inside ``func``: parameters, assignments, comprehensions.
+
+    Anything *not* in this set that a task body writes through reaches
+    beyond the task — enclosing scope, instance state or module globals.
+    """
+    names: Set[str] = set()
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = func.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            names.add(arg.arg)
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not func:
+                names.add(node.name)
+        elif isinstance(node, ast.comprehension):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.withitem,)) and node.optional_vars is not None:
+            for target in ast.walk(node.optional_vars):
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _module_functions(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Every function definition in the file, keyed by bare name."""
+    functions: Dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.setdefault(node.name, node)
+    return functions
+
+
+class _TaskBodyChecker:
+    """Scans one task callable's body for cross-shard writes."""
+
+    def __init__(self, func: ast.AST, label: str) -> None:
+        self.func = func
+        self.label = label
+        self.locals = _local_names(func)
+
+    def _is_foreign(self, name: Optional[str]) -> bool:
+        return name is not None and (name == "self" or name not in self.locals)
+
+    def violations(self) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(self.func):
+            yield from self._check_node(node)
+
+    def _check_node(self, node: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            names = ", ".join(node.names)
+            scope = "global" if isinstance(node, ast.Global) else "nonlocal"
+            yield node, (
+                f"shard task {self.label} declares `{scope} {names}` — "
+                "shard tasks run concurrently and must not write shared "
+                "scope; return the value and merge it in shard order"
+            )
+            return
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            yield from self._check_target(target)
+        if isinstance(node, ast.Call):
+            yield from self._check_call(node)
+
+    def _check_target(self, target: ast.expr) -> Iterator[Tuple[ast.AST, str]]:
+        # Tuple/list unpacking assigns element-wise; check each element.
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_target(element)
+            return
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return  # bare-name stores are task-local rebinding
+        root = _root_name(target)
+        if not self._is_foreign(root):
+            return
+        owner = "simulator state" if root == "self" else f"`{root}` (free in the task)"
+        yield target, (
+            f"shard task {self.label} writes through {owner} — "
+            "cross-shard state may only change in the boundary-exchange "
+            "phase after run_shard_tasks returns; return per-shard "
+            "results instead"
+        )
+
+    def _check_call(self, node: ast.Call) -> Iterator[Tuple[ast.AST, str]]:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _MUTATORS:
+            return
+        root = _root_name(func.value)
+        if not self._is_foreign(root):
+            return
+        receiver = "simulator state" if root == "self" else f"`{root}` (free in the task)"
+        yield node, (
+            f"shard task {self.label} calls `.{func.attr}()` on {receiver} — "
+            "in-place mutation of shared state races sibling shards; "
+            "return the value and merge it after run_shard_tasks"
+        )
+
+
+@register
+class ShardTaskPurityRule(Rule):
+    """SHARD001 — cross-shard state changes only in the boundary exchange."""
+
+    id = "SHARD001"
+    severity = Severity.ERROR
+    summary = (
+        "shard task mutates cross-shard state (self attributes, closure "
+        "names, globals) outside the boundary-exchange phase"
+    )
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> Iterator[Finding]:
+        functions = _module_functions(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target not in _RUN_SHARD_TASKS:
+                continue
+            tasks_expr = self._tasks_argument(node)
+            if tasks_expr is None:
+                continue
+            for callable_node, label in self._task_callables(
+                ctx.tree, tasks_expr, functions
+            ):
+                checker = _TaskBodyChecker(callable_node, label)
+                for offender, message in checker.violations():
+                    if config.allowed_context(self.id, ctx, offender) is not None:
+                        continue
+                    yield self.finding(ctx, offender, message)
+
+    @staticmethod
+    def _tasks_argument(call: ast.Call) -> Optional[ast.expr]:
+        if call.args:
+            return call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg == "tasks":
+                return keyword.value
+        return None
+
+    def _task_callables(
+        self,
+        tree: ast.Module,
+        tasks_expr: ast.expr,
+        functions: Dict[str, ast.AST],
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        """Resolve the task-list expression to analysable callables."""
+        for element in self._task_elements(tree, tasks_expr):
+            yield from self._resolve_callable(element, functions)
+
+    def _task_elements(
+        self, tree: ast.Module, tasks_expr: ast.expr
+    ) -> Iterator[ast.expr]:
+        if isinstance(tasks_expr, (ast.List, ast.Tuple)):
+            yield from tasks_expr.elts
+        elif isinstance(tasks_expr, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            yield tasks_expr.elt
+        elif isinstance(tasks_expr, ast.Name):
+            # A name: chase same-file list assignments and .append() calls.
+            yield from self._elements_bound_to(tree, tasks_expr.id)
+        elif isinstance(tasks_expr, ast.Call):
+            # list(<comprehension>) and friends.
+            if (
+                isinstance(tasks_expr.func, ast.Name)
+                and tasks_expr.func.id in ("list", "tuple")
+                and tasks_expr.args
+            ):
+                yield from self._task_elements(tree, tasks_expr.args[0])
+
+    def _elements_bound_to(self, tree: ast.Module, name: str) -> Iterator[ast.expr]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        yield from self._task_elements(tree, node.value)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+                and node.args
+            ):
+                yield node.args[0]
+
+    def _resolve_callable(
+        self, element: ast.expr, functions: Dict[str, ast.AST]
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        if isinstance(element, ast.Lambda):
+            yield element, "(lambda)"
+        elif isinstance(element, ast.Name):
+            if element.id in functions:
+                yield functions[element.id], f"`{element.id}`"
+        elif isinstance(element, ast.Call):
+            # functools.partial(fn, ...): the eventual callable is fn.
+            func = element.func
+            is_partial = (
+                isinstance(func, ast.Attribute) and func.attr == "partial"
+            ) or (isinstance(func, ast.Name) and func.id == "partial")
+            if is_partial and element.args:
+                yield from self._resolve_callable(element.args[0], functions)

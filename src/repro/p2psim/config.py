@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import sys
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional
@@ -19,6 +21,27 @@ from repro.utils.validation import (
 )
 
 __all__ = ["UtilizationMode", "MarketSimConfig", "StreamingSimConfig"]
+
+
+def _deprecation_stacklevel() -> int:
+    """Stacklevel pointing a config deprecation warning at the caller.
+
+    The warning fires inside ``_resolve_kernel_options``, reached through
+    the dataclass-generated ``__init__`` (a ``<string>`` frame) and — when
+    the config is rebuilt via :func:`dataclasses.replace` — an extra frame
+    inside :mod:`dataclasses` itself.  A fixed stacklevel therefore points
+    at ``dataclasses.py`` for replace-built configs; instead, walk the
+    stack past every internal frame (this module, the generated
+    ``__init__``, the stdlib ``dataclasses`` machinery) and return the
+    level of the first caller frame.
+    """
+    internal = {__file__, "<string>", dataclasses.__file__}
+    level = 1  # the _resolve_kernel_options frame (= stacklevel 1 for warn)
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename in internal:
+        level += 1
+        frame = frame.f_back
+    return level
 
 
 def _resolve_kernel_options(config: "MarketSimConfig | StreamingSimConfig") -> None:
@@ -41,7 +64,7 @@ def _resolve_kernel_options(config: "MarketSimConfig | StreamingSimConfig") -> N
             f"{type(config).__name__}.kernel is deprecated; pass "
             "options=KernelOptions(kernel=...) instead",
             DeprecationWarning,
-            stacklevel=4,
+            stacklevel=_deprecation_stacklevel(),
         )
         if legacy not in ("vectorized", "loop"):
             raise ValueError("kernel must be 'vectorized' or 'loop'")

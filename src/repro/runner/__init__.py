@@ -20,7 +20,14 @@ into declarative, cache-aware, parallel parameter sweeps:
   paper-scale market simulation executes as checkpointed round-blocks
   (``--intra-jobs``) that pipeline across the worker pool and resume
   interrupted runs at block granularity, bit-identical to the monolithic
-  run.
+  run;
+* :mod:`repro.runner.shard` — spatial peer-space sharding:
+  :func:`plan_shards` partitions the overlay into balanced,
+  edge-cut-minimising shards and the simulators execute each shard's
+  kernel section concurrently, byte-identical to the monolithic round;
+* :mod:`repro.runner.plan` — the unified :class:`ExecutionPlan` /
+  :func:`execute` entry point behind which temporal blocks, spatial
+  shards and kernel options compose.
 
 Determinism contract
 --------------------
@@ -61,14 +68,23 @@ from repro.runner.partition import (
     run_market_partitioned,
     run_streaming_partitioned,
 )
+from repro.runner.plan import ExecutionPlan, execute
+from repro.runner.shard import (
+    ShardPlan,
+    plan_shards,
+    run_shard_tasks,
+    shard_overrides,
+)
 
 __all__ = [
     "ArtifactCache",
     "BlockContext",
     "CheckpointStore",
+    "ExecutionPlan",
     "OutOfBlockBudget",
     "ParamGrid",
     "SCENARIOS",
+    "ShardPlan",
     "ShardResult",
     "SweepReport",
     "SweepSpec",
@@ -80,12 +96,16 @@ __all__ = [
     "canonical_config",
     "code_fingerprint",
     "default_jobs",
+    "execute",
     "payload_to_result",
+    "plan_shards",
     "result_to_payload",
     "round_blocks",
     "run_market_partitioned",
+    "run_shard_tasks",
     "run_streaming_partitioned",
     "run_sweep",
     "scenario",
+    "shard_overrides",
     "task_key",
 ]

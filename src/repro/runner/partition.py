@@ -53,6 +53,7 @@ import pickle
 import shutil
 import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, cast
 
@@ -418,26 +419,6 @@ class BlockContext:
                 caller.__dict__.update(copy.deepcopy(restored.__dict__))
 
 
-def _run_partitioned(
-    run_config: "callable",
-    config: object,
-    blocks: int,
-    store: Optional[CheckpointStore],
-    topology: object,
-    snapshot_times: Optional[Sequence[float]],
-    scope: str,
-) -> object:
-    def execute(checkpoints: CheckpointStore) -> object:
-        context = BlockContext(checkpoints, blocks=blocks, scope=scope, budget=None)
-        with context:
-            return run_config(config, topology=topology, snapshot_times=snapshot_times)
-
-    if store is not None:
-        return execute(store)
-    with tempfile.TemporaryDirectory(prefix="repro-intra-") as tmp:
-        return execute(CheckpointStore(tmp))
-
-
 def run_market_partitioned(
     config: object,
     blocks: int,
@@ -446,19 +427,29 @@ def run_market_partitioned(
     snapshot_times: Optional[Sequence[float]] = None,
     scope: str = "run-market-partitioned",
 ) -> object:
-    """Run one :class:`MarketSimConfig` as ``blocks`` checkpointed blocks.
+    """Deprecated: run one :class:`MarketSimConfig` as checkpointed blocks.
 
-    In-process convenience (and the determinism-test harness): the result
-    is bit-identical to ``CreditMarketSimulator.run_config(config)``.
-    With a persistent ``store`` and a stable ``scope`` an interrupted run
-    resumes from its last completed block; without one, checkpoints live
-    in a temporary directory for the duration of the call.
+    Thin wrapper over :func:`repro.runner.plan.execute` with
+    ``ExecutionPlan(intra_jobs=blocks)`` — same semantics, same checkpoint
+    scope (existing stores stay resumable), bit-identical results.  New
+    code should call ``execute`` directly, where temporal blocks compose
+    with spatial sharding and kernel options behind one plan object.
     """
-    from repro.p2psim.market_sim import CreditMarketSimulator
+    warnings.warn(
+        "run_market_partitioned is deprecated; use "
+        "repro.runner.plan.execute(config, ExecutionPlan(intra_jobs=blocks))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runner.plan import ExecutionPlan, execute
 
-    return _run_partitioned(
-        CreditMarketSimulator.run_config, config, blocks, store, topology,
-        snapshot_times, scope,
+    return execute(
+        config,
+        ExecutionPlan(intra_jobs=blocks),
+        topology=topology,
+        snapshot_times=snapshot_times,
+        store=store,
+        scope=scope,
     )
 
 
@@ -470,17 +461,24 @@ def run_streaming_partitioned(
     snapshot_times: Optional[Sequence[float]] = None,
     scope: str = "run-streaming-partitioned",
 ) -> object:
-    """Run one :class:`StreamingSimConfig` as ``blocks`` checkpointed blocks.
+    """Deprecated: run one :class:`StreamingSimConfig` as checkpointed blocks.
 
-    The streaming counterpart of :func:`run_market_partitioned`: the result
-    is bit-identical to ``StreamingMarketSimulator.run_config(config)``
-    because every tick of the batched streaming kernel depends only on the
-    (fully picklable) simulator state before it — block boundaries are pure
-    pickle round-trips of that state, churn-event counters included.
+    The streaming counterpart of :func:`run_market_partitioned`; equally a
+    thin deprecated wrapper over :func:`repro.runner.plan.execute`.
     """
-    from repro.p2psim.streaming_sim import StreamingMarketSimulator
+    warnings.warn(
+        "run_streaming_partitioned is deprecated; use "
+        "repro.runner.plan.execute(config, ExecutionPlan(intra_jobs=blocks))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runner.plan import ExecutionPlan, execute
 
-    return _run_partitioned(
-        StreamingMarketSimulator.run_config, config, blocks, store, topology,
-        snapshot_times, scope,
+    return execute(
+        config,
+        ExecutionPlan(intra_jobs=blocks),
+        topology=topology,
+        snapshot_times=snapshot_times,
+        store=store,
+        scope=scope,
     )

@@ -32,8 +32,9 @@ from repro.p2psim import (
 from repro.runner import (
     ParamGrid,
     SweepSpec,
+    ExecutionPlan,
     aggregate_sweep,
-    run_market_partitioned,
+    execute,
     run_sweep,
 )
 
@@ -151,14 +152,14 @@ class TestPartitionEquivalence:
     def test_round_blocks_byte_identical_to_monolithic(self, shape, blocks):
         config = CONFIG_FACTORIES[shape]()
         monolithic = CreditMarketSimulator.run_config(config)
-        partitioned = run_market_partitioned(config, blocks=blocks)
+        partitioned = execute(config, ExecutionPlan(intra_jobs=blocks))
         assert fingerprint(monolithic) == fingerprint(partitioned)
 
     def test_partitioned_snapshots_match(self):
         config = fig7_like_config()
         times = [100.0, 200.0]
         monolithic = CreditMarketSimulator(config, snapshot_times=times).run()
-        partitioned = run_market_partitioned(config, blocks=3, snapshot_times=times)
+        partitioned = execute(config, ExecutionPlan(intra_jobs=3), snapshot_times=times)
         assert set(partitioned.recorder.snapshots) == set(monolithic.recorder.snapshots)
         for time in times:
             np.testing.assert_array_equal(

@@ -23,7 +23,7 @@ from repro.p2psim import (
     StreamingSimConfig,
     UtilizationMode,
 )
-from repro.runner.partition import run_market_partitioned, run_streaming_partitioned
+from repro.runner import ExecutionPlan, execute
 
 
 def market_config(**overrides):
@@ -210,7 +210,7 @@ class TestPicklableStateBothLayouts:
     def test_market_partitioned_matches_monolithic(self, dtype):
         config = market_config(options=KernelOptions(dtype=dtype))
         monolithic = CreditMarketSimulator.run_config(config)
-        partitioned = run_market_partitioned(config, blocks=3)
+        partitioned = execute(config, ExecutionPlan(intra_jobs=3))
         np.testing.assert_array_equal(monolithic.final_wealths, partitioned.final_wealths)
         assert partitioned.final_wealths.dtype == np.dtype(dtype)
 
@@ -218,6 +218,6 @@ class TestPicklableStateBothLayouts:
     def test_streaming_partitioned_matches_monolithic(self, dtype):
         config = streaming_config(options=KernelOptions(dtype=dtype))
         monolithic = StreamingMarketSimulator.run_config(config)
-        partitioned = run_streaming_partitioned(config, blocks=3)
+        partitioned = execute(config, ExecutionPlan(intra_jobs=3))
         np.testing.assert_array_equal(monolithic.final_wealths, partitioned.final_wealths)
         assert partitioned.final_wealths.dtype == np.dtype(dtype)
